@@ -1,0 +1,454 @@
+// Benchmarks: one testing.B target per experiment id of DESIGN.md §5.
+// Each regenerates the corresponding table/figure measurement of
+// Even–Medina (SPAA 2011) and reports the headline number as a custom
+// metric, so `go test -bench=. -benchmem` reproduces the paper's artifacts
+// end to end. EXPERIMENTS.md holds the full sweeps (cmd/experiments).
+package gridroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridroute/internal/baseline"
+	"gridroute/internal/core"
+	"gridroute/internal/experiments"
+	"gridroute/internal/grid"
+	"gridroute/internal/ipp"
+	"gridroute/internal/netsim"
+	"gridroute/internal/optbound"
+	"gridroute/internal/render"
+	"gridroute/internal/spacetime"
+	"gridroute/internal/tiling"
+	"gridroute/internal/workload"
+)
+
+// --- Table 1 -----------------------------------------------------------------
+
+func BenchmarkTable1PriorAlgorithms(b *testing.B) {
+	n := 64
+	g := grid.Line(n, 3, 1)
+	reqs := workload.ConvoyRate(n, 2*n, 1, 1)
+	optLB := workload.ConvoyOPTLowerBound(n, 2*n, 1)
+	horizon := spacetime.SuggestHorizon(g, reqs, 3)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		gr := baseline.Run(g, reqs, baseline.Greedy{}, netsim.Model1, horizon)
+		ratio = float64(optLB) / float64(gr.Throughput())
+	}
+	b.ReportMetric(ratio, "greedy-ratio")
+}
+
+// --- Table 2 -----------------------------------------------------------------
+
+func BenchmarkTable2RandomizedRegimes(b *testing.B) {
+	for _, cs := range []struct {
+		name string
+		b, c int
+	}{{"small-B1c1", 1, 1}, {"large-buffers", 98, 1}, {"large-capacity", 1, 28}} {
+		b.Run(cs.name, func(b *testing.B) {
+			n := 64
+			g := grid.Line(n, cs.b, cs.c)
+			reqs := workload.Uniform(g, 6*n, int64(2*n), rand.New(rand.NewSource(1)))
+			var tp int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5}, rand.New(rand.NewSource(int64(i))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tp = res.Throughput
+			}
+			b.ReportMetric(float64(tp), "delivered")
+		})
+	}
+}
+
+// --- Figures -------------------------------------------------------------------
+
+func BenchmarkFigure1Grid(b *testing.B) {
+	g := grid.New([]int{4, 4}, 2, 1)
+	for i := 0; i < b.N; i++ {
+		if len(render.Grid2D(g)) == 0 {
+			b.Fatal("empty rendering")
+		}
+	}
+}
+
+func BenchmarkFigure2SpaceTime(b *testing.B) {
+	g := grid.Line(64, 3, 3)
+	for i := 0; i < b.N; i++ {
+		st := spacetime.New(g, 256)
+		r := &grid.Request{Src: grid.Vec{3}, Dst: grid.Vec{40}, Arrival: 5, Deadline: grid.InfDeadline}
+		lo, hi := st.DestRay(r)
+		if lo > hi {
+			b.Fatal("empty destination ray")
+		}
+	}
+}
+
+func BenchmarkFigure3Untilting(b *testing.B) {
+	g := grid.Line(64, 3, 3)
+	st := spacetime.New(g, 256)
+	p := make([]int, 2)
+	v := make(grid.Vec, 1)
+	for i := 0; i < b.N; i++ {
+		for t := int64(0); t < 64; t++ {
+			v[0] = int(t % 64)
+			st.ToLattice(v, t, p)
+			if _, tt := st.FromLattice(p, v); tt != t {
+				b.Fatal("untilting round trip broken")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4SketchCapacities(b *testing.B) {
+	res, err := core.RunDeterministic(grid.Line(64, 3, 3),
+		workload.Uniform(grid.Line(64, 3, 3), 64, 64, rand.New(rand.NewSource(1))), core.DetConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if res.MaxLoad > res.LoadBound {
+			b.Fatal("sketch capacity discipline broken")
+		}
+	}
+	b.ReportMetric(res.MaxLoad, "max-sketch-load")
+}
+
+func BenchmarkFigure5DetailedRouting(b *testing.B) {
+	g := grid.Line(48, 3, 3)
+	reqs := workload.Uniform(g, 4*48, 96, rand.New(rand.NewSource(2)))
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
+		if err != nil || res.RouteStats.Anomalies != 0 {
+			b.Fatalf("detailed routing failed: %v anomalies=%d", err, res.RouteStats.Anomalies)
+		}
+	}
+}
+
+func BenchmarkFigure6KnockKnee(b *testing.B) {
+	// Crossing traffic that forces simultaneous bends inside shared tiles.
+	g := grid.Line(48, 3, 3)
+	var reqs []grid.Request
+	for j := 0; j < 24; j++ {
+		reqs = append(reqs, grid.Request{ID: len(reqs), Src: grid.Vec{j}, Dst: grid.Vec{j + 24}, Arrival: int64(j), Deadline: grid.InfDeadline})
+		reqs = append(reqs, grid.Request{ID: len(reqs), Src: grid.Vec{j}, Dst: grid.Vec{j + 1}, Arrival: int64(j), Deadline: grid.InfDeadline})
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
+		if err != nil || res.RouteStats.Anomalies != 0 {
+			b.Fatal("knock-knee routing failed")
+		}
+	}
+}
+
+func BenchmarkFigure7Deadlines(b *testing.B) {
+	g := grid.Line(48, 3, 3)
+	rng := rand.New(rand.NewSource(3))
+	reqs := workload.WithDeadlines(g, workload.Uniform(g, 150, 96, rng), 1.5, 8, rng)
+	var late int
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		late = 0
+		for j, o := range res.Outcomes {
+			if o.Delivered && o.DeliveredAt > reqs[j].Deadline {
+				late++
+			}
+		}
+	}
+	b.ReportMetric(float64(late), "late-deliveries")
+}
+
+func BenchmarkFigure8Quadrants(b *testing.B) {
+	g := grid.Line(64, 2, 2)
+	st := spacetime.New(g, 128)
+	pt := []int{31, 17}
+	sw := 0
+	for i := 0; i < b.N; i++ {
+		sw = 0
+		trials := 0
+		for px := 0; px < 6; px++ {
+			for pw := 0; pw < 8; pw++ {
+				tl := tiling.New(st.Box, []int{6, 8}, []int{px, pw})
+				if tl.QuadrantOf(pt) == tiling.SW {
+					sw++
+				}
+				trials++
+			}
+		}
+		if sw*4 != trials {
+			b.Fatal("Prop 17: SW probability must be exactly 1/4 over shifts")
+		}
+	}
+}
+
+func BenchmarkFigure9ITXRouting(b *testing.B) {
+	g := grid.Line(96, 1, 1)
+	reqs := workload.Uniform(g, 8*96, 192, rand.New(rand.NewSource(4)))
+	var tp int
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.25, Branch: 1}, rand.New(rand.NewSource(int64(i))))
+		if err != nil || res.Anomalies != 0 {
+			b.Fatal("I/T/X routing anomaly")
+		}
+		tp = res.Throughput
+	}
+	b.ReportMetric(float64(tp), "delivered")
+}
+
+func BenchmarkFigure10XRouting(b *testing.B) {
+	// Heavy same-tile crossing demand exercises the X quadrant.
+	g := grid.Line(64, 2, 2)
+	reqs := workload.Hotspot(g, 400, 128, 0.3, rand.New(rand.NewSource(5)))
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.25, Branch: 1}, rand.New(rand.NewSource(7)))
+		if err != nil || res.Anomalies != 0 {
+			b.Fatal("X-routing anomaly")
+		}
+	}
+}
+
+func BenchmarkFigure12NodeModels(b *testing.B) {
+	g := grid.Line(4, 1, 1)
+	reqs := []grid.Request{
+		{ID: 0, Src: grid.Vec{0}, Dst: grid.Vec{3}, Arrival: 0, Deadline: grid.InfDeadline},
+		{ID: 1, Src: grid.Vec{1}, Dst: grid.Vec{3}, Arrival: 1, Deadline: grid.InfDeadline},
+	}
+	var m1, m2 int
+	for i := 0; i < b.N; i++ {
+		m1 = netsim.RunLocal(g, reqs, baseline.Greedy{}, netsim.Model1, 20).Throughput()
+		m2 = netsim.RunLocal(g, reqs, baseline.Greedy{}, netsim.Model2, 20).Throughput()
+	}
+	if m1 != 2 || m2 != 1 {
+		b.Fatalf("Appendix F separation broken: model1=%d model2=%d", m1, m2)
+	}
+	b.ReportMetric(float64(m1-m2), "model1-minus-model2")
+}
+
+// --- Theorems ------------------------------------------------------------------
+
+func BenchmarkThm4DetLine(b *testing.B) {
+	n := 96
+	g := grid.Line(n, 3, 3)
+	reqs := workload.Uniform(g, 5*n, int64(2*n), rand.New(rand.NewSource(6)))
+	horizon := spacetime.SuggestHorizon(g, reqs, 3)
+	upper, _ := optbound.DualUpperBound(g, reqs, horizon)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = upper / float64(res.Throughput)
+	}
+	b.ReportMetric(ratio, "certified-ratio")
+}
+
+func BenchmarkThm10DetGrid2D(b *testing.B) {
+	g := grid.New([]int{10, 10}, 3, 3)
+	reqs := workload.Uniform(g, 400, 48, rand.New(rand.NewSource(7)))
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunDeterministic(g, reqs, core.DetConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThm11Bufferless(b *testing.B) {
+	n := 96
+	g := grid.Line(n, 0, 3)
+	reqs := workload.Uniform(g, 4*n, int64(2*n), rand.New(rand.NewSource(8)))
+	opt := optbound.ExactBufferlessLine(g, reqs)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(opt) / float64(res.Throughput)
+	}
+	b.ReportMetric(ratio, "exact-ratio")
+}
+
+func BenchmarkThm13LargeCapacity(b *testing.B) {
+	g := grid.Line(48, 64, 64)
+	reqs := workload.Saturating(g, 6, 3, rand.New(rand.NewSource(9)))
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunLargeCapacity(g, reqs, core.DetConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxLoad > float64(res.K) {
+			b.Fatal("Thm 13 load discipline broken")
+		}
+	}
+}
+
+func BenchmarkThm29RandLine(b *testing.B) {
+	n := 96
+	g := grid.Line(n, 1, 1)
+	reqs := workload.Uniform(g, 8*n, int64(3*n), rand.New(rand.NewSource(10)))
+	var tp int
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5}, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tp += res.Throughput
+	}
+	b.ReportMetric(float64(tp)/float64(b.N), "mean-delivered")
+}
+
+func BenchmarkThm30LargeBuffers(b *testing.B) {
+	g := grid.Line(64, 98, 1)
+	reqs := workload.Uniform(g, 400, 128, rand.New(rand.NewSource(11)))
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5, Branch: 1}, rand.New(rand.NewSource(3))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThm31SmallBuffers(b *testing.B) {
+	g := grid.Line(64, 2, 64)
+	reqs := workload.Saturating(g, 8, 4, rand.New(rand.NewSource(12)))
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5, Branch: 1}, rand.New(rand.NewSource(4))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThm1IPP(b *testing.B) {
+	g := grid.Line(64, 3, 3)
+	st := spacetime.New(g, 256)
+	reqs := workload.Uniform(g, 300, 128, rand.New(rand.NewSource(13)))
+	for i := 0; i < b.N; i++ {
+		sp := optbound.NewSTPacker(st, 3, 3, core.PMaxDet(g))
+		for j := range reqs {
+			sp.Offer(&reqs[j])
+		}
+		pk := sp.Packer()
+		if pk.PrimalValue() > 2*float64(pk.Accepted())+1e-9 || pk.MaxLoad() > pk.LoadBound() {
+			b.Fatal("Theorem 1 guarantee violated")
+		}
+	}
+}
+
+func BenchmarkLemma2PathLengths(b *testing.B) {
+	g := grid.Line(64, 3, 3)
+	reqs := workload.Uniform(g, 300, 128, rand.New(rand.NewSource(14)))
+	for i := 0; i < b.N; i++ {
+		short, err := core.RunDeterministic(g, reqs, core.DetConfig{PMax: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		long, err := core.RunDeterministic(g, reqs, core.DetConfig{PMax: core.PMaxDet(g)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(short.Throughput)/float64(long.Throughput), "short-vs-paper-pmax")
+		}
+	}
+}
+
+func BenchmarkProp89DetailedRoutingLoss(b *testing.B) {
+	g := grid.Line(96, 3, 3)
+	reqs := workload.Saturating(g, 8, 2, rand.New(rand.NewSource(15)))
+	var f1, f2 float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = float64(res.ReachedLastTile) / float64(res.Admitted)
+		f2 = float64(res.Throughput) / float64(res.ReachedLastTile)
+	}
+	b.ReportMetric(f1, "ipp-prime/ipp")
+	b.ReportMetric(f2, "alg/ipp-prime")
+}
+
+func BenchmarkLowerBounds(b *testing.B) {
+	n := 64
+	g := grid.Line(n, 1, 1)
+	var reqs []grid.Request
+	reqs = append(reqs, grid.Request{Src: grid.Vec{0}, Dst: grid.Vec{n - 1}, Arrival: 0, Deadline: grid.InfDeadline})
+	for v := 1; v < n-1; v++ {
+		reqs = append(reqs, grid.Request{Src: grid.Vec{v}, Dst: grid.Vec{v + 1}, Arrival: int64(v), Deadline: grid.InfDeadline})
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res := baseline.Run(g, reqs, baseline.Greedy{}, netsim.Model2, int64(4*n))
+		ratio = float64(n-2) / float64(res.Throughput())
+	}
+	b.ReportMetric(ratio, "model2-B1-ratio")
+}
+
+func BenchmarkProp16Tiling(b *testing.B) {
+	g := grid.Line(256, 2, 3)
+	st := spacetime.New(g, 64)
+	for i := 0; i < b.N; i++ {
+		tl := tiling.New(st.Box, []int{8, 8}, []int{i % 8, (i * 3) % 8})
+		if tl.TBox.Size() == 0 {
+			b.Fatal("empty tiling")
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	g := grid.Line(64, 1, 1)
+	reqs := workload.Uniform(g, 8*64, 192, rand.New(rand.NewSource(16)))
+	for _, gamma := range []float64{0.25, 8} {
+		b.Run("gamma="+itoa(int(gamma*100)), func(b *testing.B) {
+			var tp int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: gamma, Branch: 1}, rand.New(rand.NewSource(5)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tp = res.Throughput
+			}
+			b.ReportMetric(float64(tp), "delivered")
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkK is a micro-benchmark of the tile-side parameter used across
+// both algorithms.
+func BenchmarkK(b *testing.B) {
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += ipp.K(4 * 1024)
+	}
+	_ = s
+}
+
+// BenchmarkExperimentsQuick regenerates the full quick-mode EXPERIMENTS
+// suite; it is the one-stop reproduction target.
+func BenchmarkExperimentsQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rs := experiments.All(true); len(rs) < 10 {
+			b.Fatal("missing experiment reports")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command viz prints ASCII reproductions of the paper's figures: the grid
+// network (Fig. 1), the untilted space-time lattice with tiling (Fig. 3),
+// quadrants (Fig. 8), and an actual routed request with its detailed path
+// overlaid on the tiles (Fig. 5).
+package main
+
+import (
+	"fmt"
+
+	"gridroute/internal/core"
+	"gridroute/internal/grid"
+	"gridroute/internal/render"
+	"gridroute/internal/spacetime"
+	"gridroute/internal/tiling"
+)
+
+func main() {
+	fmt.Println("=== Figure 1: a 4x4 uni-directional grid ===")
+	fmt.Println(render.Grid2D(grid.New([]int{4, 4}, 2, 1)))
+
+	fmt.Println("=== Figure 3d: untilted space-time lattice of a line, tiled 4x4 ===")
+	g := grid.Line(12, 3, 3)
+	st := spacetime.New(g, 20)
+	tl := tiling.New(st.Box, []int{4, 4}, []int{0, 0})
+	c := render.NewCanvas(0, 11, -11, 20)
+	c.DrawTiles(tl)
+	fmt.Println(c.String())
+
+	fmt.Println("=== Figure 5: sketch path tiles and the detailed path of a routed request ===")
+	reqs := []grid.Request{
+		{ID: 0, Src: grid.Vec{1}, Dst: grid.Vec{10}, Arrival: 2, Deadline: grid.InfDeadline},
+	}
+	res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: 40})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.Schedules[0] == nil {
+		fmt.Println("(request rejected — rerun)")
+		return
+	}
+	st2 := spacetime.New(g, 40)
+	tl2 := tiling.New(st2.Box, []int{res.K, res.K}, []int{0, 0})
+	c2 := render.NewCanvas(0, 11, -11, 24)
+	c2.DrawTiles(tl2)
+	p := st2.ScheduleToPath(res.Schedules[0])
+	c2.DrawPath(p, '#')
+	fmt.Println(c2.String())
+	fmt.Printf("request %v routed with tile side k=%d; '#' = detailed path, 'S'/'E' = endpoints\n\n", reqs[0], res.K)
+
+	fmt.Println("=== Figure 8: tile quadrants (S marks the SW quadrant of each tile) ===")
+	tl3 := tiling.New(st.Box, []int{6, 8}, []int{0, 0})
+	c3 := render.NewCanvas(0, 11, -11, 20)
+	c3.DrawTiles(tl3)
+	pt := make([]int, 2)
+	for x := 0; x < 12; x++ {
+		for w := -11; w <= 20; w++ {
+			pt[0], pt[1] = x, w
+			if tl3.QuadrantOf(pt) == tiling.SW {
+				off := tl3.Offset(pt, nil)
+				if off[0] != 0 && off[1] != 0 { // keep tile borders visible
+					c3.Set(x, w, 's')
+				}
+			}
+		}
+	}
+	fmt.Println(c3.String())
+	fmt.Println("Lower-left quarter of every Q×τ tile ('s') is the SW quadrant where Far+ requests originate (Sec. 7.2).")
+}

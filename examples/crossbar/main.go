@@ -1,0 +1,43 @@
+// Crossbar: 2-dimensional uni-directional grids serve as crossbar switch
+// fabrics (the motivation of Sec. 1.1 — "2-dimensional grids with or
+// without buffers serve as crossbars in networks"). This example schedules
+// input-queued switch traffic with the deterministic algorithm and compares
+// it with greedy forwarding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridroute"
+)
+
+func main() {
+	// An 8×8 crossbar: packets enter on the west edge and exit at a
+	// row/column crossing point. Load 0.7 packets per ingress per cycle.
+	g, reqs := gridroute.CrossbarWorkload(8, 3, 3, 32, 0.7, 7)
+	fmt.Printf("crossbar 8x8, %d cells injected\n", len(reqs))
+
+	det, err := gridroute.Deterministic().Route(g, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := gridroute.Greedy().Route(g, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ntg, err := gridroute.NearestToGo().Route(g, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	T := gridroute.SuggestHorizon(g, reqs, 3)
+	upper, _ := gridroute.DualUpperBound(g, reqs, T)
+	fmt.Printf("certified OPT ≤ %.1f\n\n", upper)
+	for _, r := range []*gridroute.Result{det, greedy, ntg} {
+		fmt.Printf("%-16s delivered %4d  (admitted %4d, violations %d)\n",
+			r.Algorithm, r.Throughput, r.Admitted, len(r.Violations))
+	}
+	fmt.Println("\nAt moderate load greedy keeps up; under admission-worthy overload")
+	fmt.Println("(raise rounds/load) the deterministic algorithm's rejections pay off.")
+}

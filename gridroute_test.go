@@ -1,0 +1,105 @@
+package gridroute
+
+import (
+	"testing"
+)
+
+func TestPublicAPIDeterministic(t *testing.T) {
+	g := NewLine(48, 3, 3)
+	reqs := UniformWorkload(g, 150, 96, 1)
+	res, err := Deterministic().Route(g, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+	if res.Throughput == 0 || res.Throughput > res.Admitted {
+		t.Fatalf("throughput %d / admitted %d", res.Throughput, res.Admitted)
+	}
+	upper, witness := DualUpperBound(g, reqs, SuggestHorizon(g, reqs, 3))
+	if float64(res.Throughput) > upper {
+		t.Fatalf("throughput %d above certified bound %v", res.Throughput, upper)
+	}
+	if witness == 0 {
+		t.Fatal("certifying packer routed nothing")
+	}
+}
+
+func TestPublicAPIRandomized(t *testing.T) {
+	g := NewLine(64, 1, 1)
+	reqs := UniformWorkload(g, 400, 128, 2)
+	res, err := RandomizedWith(7, 0.5, 1).Route(g, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+	if res.Throughput == 0 {
+		t.Fatal("no randomized throughput in engineering mode")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	g := NewLine(32, 2, 1)
+	reqs := UniformWorkload(g, 60, 64, 3)
+	for _, r := range []Router{Greedy(), NearestToGo()} {
+		res, err := r.Route(g, reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if res.Throughput == 0 {
+			t.Fatalf("%s delivered nothing", r.Name())
+		}
+	}
+}
+
+func TestPublicAPILargeCapacity(t *testing.T) {
+	g := NewLine(16, 64, 64)
+	reqs := SaturatingWorkload(g, 4, 6, 4)
+	res, err := LargeCapacity().Route(g, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+	if res.Throughput != res.Admitted {
+		t.Fatal("Thm 13 is non-preemptive")
+	}
+}
+
+func TestPublicAPICrossbar(t *testing.T) {
+	g, reqs := CrossbarWorkload(8, 3, 3, 12, 0.5, 5)
+	res, err := Deterministic().Route(g, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}
+
+func TestPublicAPIDeadlines(t *testing.T) {
+	g := NewLine(32, 3, 3)
+	reqs := DeadlineWorkload(g, UniformWorkload(g, 80, 64, 6), 2.0, 8, 6)
+	res, err := Deterministic().Route(g, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	g := NewLine(16, 1, 1)
+	if _, err := Deterministic().Route(g, nil); err == nil {
+		t.Fatal("B=c=1 must error for the deterministic algorithm")
+	}
+	g2 := NewGrid([]int{4, 4}, 1, 1)
+	if _, err := Randomized(1).Route(g2, nil); err == nil {
+		t.Fatal("randomized on 2-d must error")
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full quick-mode suite must produce every report with non-empty
+// tables — this is the regression net for EXPERIMENTS.md generation.
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	reports := All(true)
+	wantIDs := []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13"}
+	if len(reports) != len(wantIDs) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(wantIDs))
+	}
+	for i, r := range reports {
+		if r.ID != wantIDs[i] {
+			t.Errorf("report %d: id %q, want %q", i, r.ID, wantIDs[i])
+		}
+		if len(r.Tables) == 0 {
+			t.Errorf("report %s has no tables", r.ID)
+		}
+		for _, tb := range r.Tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("report %s: table %q empty", r.ID, tb.Title)
+			}
+			md := tb.Markdown()
+			if !strings.Contains(md, "| --- |") && !strings.Contains(md, "| --- | ---") {
+				t.Errorf("report %s: bad markdown", r.ID)
+			}
+		}
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if len(Sizes(true)) >= len(Sizes(false)) {
+		t.Fatal("quick mode must be smaller")
+	}
+}

@@ -1,0 +1,118 @@
+// Package interval implements online packing of open intervals on a line
+// with preemption (Sec. 5.2.1 of Even–Medina), i.e. the online simulation of
+// the optimal interval-scheduling algorithm of Gupta, Lee and Leung [GLL82].
+//
+// Intervals arrive in non-decreasing order of left endpoint. The packer
+// maintains a maximum-cardinality set of pairwise-disjoint accepted
+// intervals among the prefix seen so far:
+//
+//   - if the newcomer is disjoint from all accepted intervals it is accepted;
+//   - otherwise it overlaps exactly one accepted interval p_j (a consequence
+//     of sorted arrivals and disjointness); if the newcomer ends strictly
+//     later it is rejected, otherwise it preempts p_j.
+//
+// The deterministic algorithm's detailed routing runs one such packer per
+// row and column of the untilted space-time lattice (first/last segments,
+// track 1) and per column of each last tile (track 3); preempting an
+// interval corresponds to dropping the packet at the meeting node
+// (Prop. 8's "forest of preemptions").
+package interval
+
+// Interval is an open interval (Lo, Hi) with an opaque id.
+type Interval struct {
+	Lo, Hi int
+	ID     int
+}
+
+// Overlaps reports whether two open intervals intersect.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Lo < o.Hi && o.Lo < iv.Hi
+}
+
+// Packer is the online state for a single line. The zero value is ready to
+// use.
+type Packer struct {
+	// last is the accepted interval with the largest right endpoint — the
+	// only one that can conflict with future (sorted) arrivals.
+	last    Interval
+	hasLast bool
+
+	accepted  int
+	preempted int
+	rejected  int
+}
+
+// Outcome of an Offer.
+type Outcome int
+
+const (
+	// Accepted: the interval joined the packing.
+	Accepted Outcome = iota
+	// Rejected: the interval was refused on arrival.
+	Rejected
+	// Preempts: the interval joined and evicted a previously accepted one
+	// (reported via the second return of Offer).
+	Preempts
+)
+
+// Offer processes an arriving interval. Arrivals must have non-decreasing
+// Lo; Offer panics otherwise, because unsorted offers would silently break
+// the optimality invariant. On Preempts, victim holds the evicted interval.
+func (p *Packer) Offer(iv Interval) (Outcome, Interval) {
+	if iv.Hi <= iv.Lo {
+		panic("interval: empty interval")
+	}
+	if p.hasLast && iv.Lo < p.last.Lo {
+		panic("interval: offers must arrive by non-decreasing left endpoint")
+	}
+	if !p.hasLast || !p.last.Overlaps(iv) {
+		p.last = iv
+		p.hasLast = true
+		p.accepted++
+		return Accepted, Interval{}
+	}
+	if iv.Hi > p.last.Hi {
+		p.rejected++
+		return Rejected, Interval{}
+	}
+	victim := p.last
+	p.last = iv
+	p.accepted++
+	p.preempted++
+	return Preempts, victim
+}
+
+// Current returns the accepted interval that is still "open" (can conflict
+// with future arrivals), if any.
+func (p *Packer) Current() (Interval, bool) { return p.last, p.hasLast }
+
+// Stats returns (accepted−preempted, preempted, rejected): the surviving
+// packing size and the loss counters.
+func (p *Packer) Stats() (surviving, preempted, rejected int) {
+	return p.accepted - p.preempted, p.preempted, p.rejected
+}
+
+// OfflineOptimal returns the maximum number of pairwise-disjoint open
+// intervals (reference implementation: greedy by right endpoint, which is
+// optimal). It does not require sorted input.
+func OfflineOptimal(intervals []Interval) int {
+	if len(intervals) == 0 {
+		return 0
+	}
+	sorted := append([]Interval(nil), intervals...)
+	// Insertion sort by Hi; inputs in tests are small.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Hi < sorted[j-1].Hi; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	count := 0
+	lastHi := -1 << 62
+	for _, iv := range sorted {
+		if iv.Lo >= lastHi { // open intervals may share endpoints
+			count++
+			lastHi = iv.Hi
+		}
+	}
+	return count
+}

@@ -1,0 +1,148 @@
+package interval
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDisjointAllAccepted(t *testing.T) {
+	var p Packer
+	for i := 0; i < 5; i++ {
+		out, _ := p.Offer(Interval{Lo: i * 10, Hi: i*10 + 5, ID: i})
+		if out != Accepted {
+			t.Fatalf("interval %d: outcome %v", i, out)
+		}
+	}
+	s, pr, rj := p.Stats()
+	if s != 5 || pr != 0 || rj != 0 {
+		t.Fatalf("stats %d/%d/%d", s, pr, rj)
+	}
+}
+
+func TestSharedEndpointsAreDisjoint(t *testing.T) {
+	var p Packer
+	p.Offer(Interval{Lo: 0, Hi: 5})
+	out, _ := p.Offer(Interval{Lo: 5, Hi: 9})
+	if out != Accepted {
+		t.Fatal("open intervals sharing an endpoint are disjoint")
+	}
+}
+
+func TestPreemption(t *testing.T) {
+	var p Packer
+	p.Offer(Interval{Lo: 0, Hi: 10, ID: 1})
+	out, victim := p.Offer(Interval{Lo: 2, Hi: 8, ID: 2})
+	if out != Preempts || victim.ID != 1 {
+		t.Fatalf("expected preemption of 1, got %v victim %d", out, victim.ID)
+	}
+	// A later interval overlapping the new current one but ending later is
+	// rejected.
+	out, _ = p.Offer(Interval{Lo: 3, Hi: 12, ID: 3})
+	if out != Rejected {
+		t.Fatalf("expected rejection, got %v", out)
+	}
+	s, pr, rj := p.Stats()
+	if s != 1 || pr != 1 || rj != 1 {
+		t.Fatalf("stats %d/%d/%d", s, pr, rj)
+	}
+}
+
+func TestTiePreempts(t *testing.T) {
+	var p Packer
+	p.Offer(Interval{Lo: 0, Hi: 10, ID: 1})
+	out, victim := p.Offer(Interval{Lo: 4, Hi: 10, ID: 2})
+	if out != Preempts || victim.ID != 1 {
+		t.Fatalf("equal right endpoint should preempt (b_i ≤ b_j)")
+	}
+}
+
+func TestUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unsorted offer")
+		}
+	}()
+	var p Packer
+	p.Offer(Interval{Lo: 5, Hi: 8})
+	p.Offer(Interval{Lo: 1, Hi: 3})
+}
+
+func TestEmptyIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty interval")
+		}
+	}()
+	var p Packer
+	p.Offer(Interval{Lo: 3, Hi: 3})
+}
+
+// The online packer is optimal (GLL82): on any sorted sequence its surviving
+// count equals the offline maximum independent set of intervals.
+func TestOnlineMatchesOfflineQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n)%20 + 1
+		ivs := make([]Interval, m)
+		for i := range ivs {
+			lo := rng.Intn(50)
+			ivs[i] = Interval{Lo: lo, Hi: lo + 1 + rng.Intn(20), ID: i}
+		}
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].Lo < ivs[b].Lo })
+		var p Packer
+		for _, iv := range ivs {
+			p.Offer(iv)
+		}
+		s, _, _ := p.Stats()
+		return s == OfflineOptimal(ivs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Surviving intervals are pairwise disjoint at every prefix: we verify by
+// replaying and tracking the alive set explicitly.
+func TestDisjointInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(30)
+		ivs := make([]Interval, m)
+		for i := range ivs {
+			lo := rng.Intn(40)
+			ivs[i] = Interval{Lo: lo, Hi: lo + 1 + rng.Intn(15), ID: i}
+		}
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].Lo < ivs[b].Lo })
+		var p Packer
+		alive := map[int]Interval{}
+		for _, iv := range ivs {
+			out, victim := p.Offer(iv)
+			switch out {
+			case Accepted:
+				alive[iv.ID] = iv
+			case Preempts:
+				delete(alive, victim.ID)
+				alive[iv.ID] = iv
+			}
+			for a, ia := range alive {
+				for b, ib := range alive {
+					if a < b && ia.Overlaps(ib) {
+						t.Fatalf("alive intervals overlap: %+v %+v", ia, ib)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOfflineOptimalKnown(t *testing.T) {
+	ivs := []Interval{{0, 3, 0}, {2, 5, 1}, {4, 7, 2}, {1, 8, 3}}
+	if got := OfflineOptimal(ivs); got != 2 {
+		t.Fatalf("offline optimal = %d, want 2", got)
+	}
+	if OfflineOptimal(nil) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}

@@ -1,0 +1,152 @@
+// Package ipp implements the online integral path packing algorithm of
+// Theorem 1 / Appendix E of Even–Medina, following the Buchbinder–Naor
+// primal–dual framework [BN06, BN09a].
+//
+// The packer maintains a weight x_e per edge (lazily initialized to 0).
+// For each connection request the caller's oracle finds a lightest legal
+// path p (at most pmax edges) under the current weights. If its cost
+// α(p) = Σ_{e∈p} x_e is < 1 the request is routed along p and each edge
+// weight is updated as
+//
+//	x_e ← x_e·2^{1/c(e)} + (2^{1/c(e)} − 1)/pmax,
+//
+// otherwise the request is rejected. The packer also maintains the primal
+// objective Σ_e x_e·c(e) + Σ_i z_i, which by weak duality upper-bounds the
+// optimal fractional throughput over paths of ≤ pmax edges — this is the
+// certified OPT upper bound used across the benchmark harness (DESIGN.md §2).
+//
+// Guarantees (Thm 1): throughput ≥ ½·opt_f, and every edge load
+// flow(e)/c(e) is at most log₂(1 + 3·pmax).
+package ipp
+
+import (
+	"math"
+)
+
+// EdgeID identifies an edge in the caller's graph. Callers choose their own
+// id scheme (lattice edges, interior edges of split tiles, …).
+type EdgeID int64
+
+// CapFunc returns an edge capacity. Capacities must be ≥ 1 (Thm 1
+// assumption) or +Inf for uncapacitated edges (e.g. sink edges), which are
+// never weighted nor counted in the primal objective.
+type CapFunc func(EdgeID) float64
+
+// Packer is the online integral path packing state.
+type Packer struct {
+	pmax float64
+	cap  CapFunc
+
+	x    map[EdgeID]float64
+	flow map[EdgeID]int
+
+	accepted    int
+	rejected    int
+	primalEdges float64 // Σ x_e·c(e)
+	primalZ     float64 // Σ z_i
+	maxLoad     float64
+}
+
+// New creates a packer for paths of at most pmax edges.
+func New(pmax int, capFn CapFunc) *Packer {
+	if pmax < 1 {
+		panic("ipp: pmax must be ≥ 1")
+	}
+	return &Packer{
+		pmax: float64(pmax),
+		cap:  capFn,
+		x:    make(map[EdgeID]float64),
+		flow: make(map[EdgeID]int),
+	}
+}
+
+// PMax returns the path-length bound.
+func (p *Packer) PMax() int { return int(p.pmax) }
+
+// Weight returns the current weight x_e. The caller's lightest-path oracle
+// uses this as the edge length.
+func (p *Packer) Weight(e EdgeID) float64 { return p.x[e] }
+
+// Cost returns α(path) = Σ x_e over the given edges.
+func (p *Packer) Cost(path []EdgeID) float64 {
+	var c float64
+	for _, e := range path {
+		c += p.x[e]
+	}
+	return c
+}
+
+// Offer processes one request whose lightest legal path (as computed by the
+// caller's oracle under Weight) is path with total weight cost. It returns
+// true if the request is accepted, in which case the path is committed and
+// weights are updated. Offering a nil path (no legal path exists) rejects.
+//
+// The caller must pass cost consistent with Cost(path); it is a parameter
+// only to let oracles avoid a second traversal.
+func (p *Packer) Offer(path []EdgeID, cost float64) bool {
+	if path == nil || cost >= 1 {
+		p.rejected++
+		return false
+	}
+	if len(path) > int(p.pmax) {
+		// Oracle bug guard: legal paths must have ≤ pmax edges.
+		panic("ipp: offered path longer than pmax")
+	}
+	for _, e := range path {
+		ce := p.cap(e)
+		f := p.flow[e] + 1
+		p.flow[e] = f
+		if math.IsInf(ce, 1) {
+			// Uncapacitated edges keep weight 0 (2^{1/∞} = 1, additive term 0).
+			continue
+		}
+		g := math.Exp2(1 / ce)
+		old := p.x[e]
+		nw := old*g + (g-1)/p.pmax
+		p.x[e] = nw
+		p.primalEdges += (nw - old) * ce
+		if load := float64(f) / ce; load > p.maxLoad {
+			p.maxLoad = load
+		}
+	}
+	p.primalZ += 1 - cost
+	p.accepted++
+	return true
+}
+
+// Accepted returns the number of routed requests (the dual objective).
+func (p *Packer) Accepted() int { return p.accepted }
+
+// Rejected returns the number of rejected requests.
+func (p *Packer) Rejected() int { return p.rejected }
+
+// Flow returns the number of committed paths using edge e.
+func (p *Packer) Flow(e EdgeID) int { return p.flow[e] }
+
+// Load returns flow(e)/c(e).
+func (p *Packer) Load(e EdgeID) float64 {
+	f := p.flow[e]
+	if f == 0 {
+		return 0
+	}
+	return float64(f) / p.cap(e)
+}
+
+// MaxLoad returns the maximum edge load committed so far. Theorem 1
+// guarantees MaxLoad ≤ log₂(1 + 3·pmax).
+func (p *Packer) MaxLoad() float64 { return p.maxLoad }
+
+// LoadBound returns the Theorem 1 load bound log₂(1 + 3·pmax).
+func (p *Packer) LoadBound() float64 { return math.Log2(1 + 3*p.pmax) }
+
+// PrimalValue returns Σ_e x_e·c(e) + Σ_i z_i. It is a feasible primal
+// (covering) solution value and hence an upper bound on the optimal
+// fractional throughput over paths with at most pmax edges, restricted to
+// the requests offered so far. Thm 1's proof gives PrimalValue ≤ 2·Accepted.
+func (p *Packer) PrimalValue() float64 { return p.primalEdges + p.primalZ }
+
+// K returns the tile-side parameter k = ⌈log₂(1 + 3·pmax)⌉ used by the
+// deterministic and randomized algorithms.
+func K(pmax int) int {
+	return int(math.Ceil(math.Log2(1 + 3*float64(pmax))))
+}

@@ -1,0 +1,365 @@
+// Package lattice implements bounded axis-aligned integer boxes with directed
+// unit-step edges along each axis ("box DAGs").
+//
+// Both the untilted space-time graph of a uni-directional grid (Sec. 3.1–3.2
+// of Even–Medina) and every sketch graph over its tiles (Sec. 3.4) are box
+// DAGs: after the untilting automorphism q(x, t) = (x, t − Σx), all edges
+// advance exactly one coordinate by +1. Two structural facts are exploited
+// throughout the repository:
+//
+//  1. every directed path between two points u ≤ v has exactly ‖v−u‖₁ edges,
+//     so the bounded-path-length constraint of Theorem 1 reduces to bounding
+//     the destination window; and
+//  2. any traversal of points in non-decreasing coordinate order is a
+//     topological order; ordering by t = w + Σx makes the traversal coincide
+//     with simulation time.
+package lattice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is the set of integer points p with Lo[i] ≤ p[i] < Hi[i] for every
+// axis i, together with the directed edges p → p+e_i for points where the
+// head is still inside the box.
+type Box struct {
+	Lo, Hi []int
+
+	dims   []int
+	stride []int
+	size   int
+}
+
+// NewBox constructs a box. Panics if hi[i] ≤ lo[i] for some axis: boxes are
+// configuration and must be non-empty.
+func NewBox(lo, hi []int) *Box {
+	if len(lo) != len(hi) || len(lo) == 0 {
+		panic("lattice: lo/hi dimension mismatch")
+	}
+	b := &Box{
+		Lo:     append([]int(nil), lo...),
+		Hi:     append([]int(nil), hi...),
+		dims:   make([]int, len(lo)),
+		stride: make([]int, len(lo)),
+	}
+	b.size = 1
+	for i := len(lo) - 1; i >= 0; i-- {
+		if hi[i] <= lo[i] {
+			panic(fmt.Sprintf("lattice: empty axis %d: [%d,%d)", i, lo[i], hi[i]))
+		}
+		b.dims[i] = hi[i] - lo[i]
+		b.stride[i] = b.size
+		b.size *= b.dims[i]
+	}
+	return b
+}
+
+// D returns the number of axes.
+func (b *Box) D() int { return len(b.Lo) }
+
+// Size returns the number of points in the box.
+func (b *Box) Size() int { return b.size }
+
+// Dim returns the extent of axis i.
+func (b *Box) Dim(i int) int { return b.dims[i] }
+
+// Contains reports whether p lies inside the box.
+func (b *Box) Contains(p []int) bool {
+	if len(p) != len(b.Lo) {
+		return false
+	}
+	for i, x := range p {
+		if x < b.Lo[i] || x >= b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Index maps a point to a dense id in [0, Size). Panics when out of range.
+func (b *Box) Index(p []int) int {
+	id := 0
+	for i, x := range p {
+		if x < b.Lo[i] || x >= b.Hi[i] {
+			panic(fmt.Sprintf("lattice: point %v outside box [%v,%v)", p, b.Lo, b.Hi))
+		}
+		id += (x - b.Lo[i]) * b.stride[i]
+	}
+	return id
+}
+
+// Point maps a dense id back to coordinates, writing into out when non-nil.
+func (b *Box) Point(id int, out []int) []int {
+	if out == nil {
+		out = make([]int, len(b.Lo))
+	}
+	for i := range b.Lo {
+		out[i] = b.Lo[i] + id/b.stride[i]
+		id %= b.stride[i]
+	}
+	return out
+}
+
+// Step returns the id of the neighbor of node id along +axis, and whether it
+// exists (the head may fall outside the box).
+func (b *Box) Step(id, axis int) (int, bool) {
+	// Coordinate along axis is (id / stride[axis]) % dims[axis].
+	c := (id / b.stride[axis]) % b.dims[axis]
+	if c+1 >= b.dims[axis] {
+		return 0, false
+	}
+	return id + b.stride[axis], true
+}
+
+// Back returns the id of the neighbor of node id along −axis, and whether it
+// exists.
+func (b *Box) Back(id, axis int) (int, bool) {
+	c := (id / b.stride[axis]) % b.dims[axis]
+	if c == 0 {
+		return 0, false
+	}
+	return id - b.stride[axis], true
+}
+
+// NumEdges returns the number of directed edges in the box.
+func (b *Box) NumEdges() int {
+	total := 0
+	for _, d := range b.dims {
+		total += (b.size / d) * (d - 1)
+	}
+	return total
+}
+
+// L1 returns ‖v−u‖₁ for u ≤ v, which is the (unique) number of edges on any
+// directed path from u to v. It returns -1 if v is not reachable from u.
+func L1(u, v []int) int {
+	s := 0
+	for i := range u {
+		if v[i] < u[i] {
+			return -1
+		}
+		s += v[i] - u[i]
+	}
+	return s
+}
+
+// Path is a directed lattice path: a start point followed by unit steps, each
+// advancing one axis.
+type Path struct {
+	Start []int
+	Axes  []uint8
+}
+
+// Len returns the number of edges.
+func (p *Path) Len() int { return len(p.Axes) }
+
+// End returns the final point of the path.
+func (p *Path) End() []int {
+	q := append([]int(nil), p.Start...)
+	for _, a := range p.Axes {
+		q[a]++
+	}
+	return q
+}
+
+// Visit calls fn for every point of the path in order, including endpoints.
+// fn receives a reused buffer; it must not retain it.
+func (p *Path) Visit(fn func(pt []int)) {
+	q := append([]int(nil), p.Start...)
+	fn(q)
+	for _, a := range p.Axes {
+		q[a]++
+		fn(q)
+	}
+}
+
+// EdgeWeight gives the weight of the edge leaving node id along axis.
+type EdgeWeight func(id, axis int) float64
+
+// NodeWeight gives the weight charged for visiting node id (used to fold the
+// interior edges of split sketch nodes into the DP; see Sec. 5.1).
+type NodeWeight func(id int) float64
+
+// Inf is the cost of an unreachable node.
+var Inf = math.Inf(1)
+
+// DP computes lightest directed paths inside a window of a box. A DP value is
+// reusable across calls to Run; it grows its buffers as needed.
+//
+// Path cost convention: cost(path) = Σ_nodes nodeW(v) + Σ_edges edgeW(e),
+// where the sum over nodes includes both endpoints. This matches the
+// {1,2,∞}-sketch-graph cost of a path s¹_in → s¹_out → … → sᴸ_out, which
+// traverses the interior edge of every visited tile.
+type DP struct {
+	box    *Box
+	winLo  []int
+	winHi  []int
+	wdims  []int
+	wstr   []int
+	wsize  int
+	cost   []float64
+	pred   []int8
+	srcAbs []int
+	valid  bool
+}
+
+// NewDP returns a DP bound to box.
+func (b *Box) NewDP() *DP {
+	d := len(b.Lo)
+	return &DP{
+		box:   b,
+		winLo: make([]int, d), winHi: make([]int, d),
+		wdims: make([]int, d), wstr: make([]int, d),
+		srcAbs: make([]int, d),
+	}
+}
+
+func (dp *DP) winIndex(p []int) int {
+	id := 0
+	for i, x := range p {
+		id += (x - dp.winLo[i]) * dp.wstr[i]
+	}
+	return id
+}
+
+func (dp *DP) inWindow(p []int) bool {
+	for i, x := range p {
+		if x < dp.winLo[i] || x >= dp.winHi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run computes lightest paths from src to every point of the window
+// [winLo, winHi) ∩ box. src must lie in the window. Edge and node weights are
+// consulted via box node ids. After Run, use CostAt and PathTo.
+func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
+	d := dp.box.D()
+	dp.wsize = 1
+	for i := 0; i < d; i++ {
+		lo := winLo[i]
+		if lo < dp.box.Lo[i] {
+			lo = dp.box.Lo[i]
+		}
+		hi := winHi[i]
+		if hi > dp.box.Hi[i] {
+			hi = dp.box.Hi[i]
+		}
+		if hi <= lo {
+			dp.valid = false
+			return
+		}
+		dp.winLo[i], dp.winHi[i] = lo, hi
+		dp.wdims[i] = hi - lo
+	}
+	for i := d - 1; i >= 0; i-- {
+		dp.wstr[i] = dp.wsize
+		dp.wsize *= dp.wdims[i]
+	}
+	if cap(dp.cost) < dp.wsize {
+		dp.cost = make([]float64, dp.wsize)
+		dp.pred = make([]int8, dp.wsize)
+	}
+	dp.cost = dp.cost[:dp.wsize]
+	dp.pred = dp.pred[:dp.wsize]
+	for i := range dp.cost {
+		dp.cost[i] = Inf
+		dp.pred[i] = -1
+	}
+	if !dp.inWindow(src) {
+		dp.valid = false
+		return
+	}
+	copy(dp.srcAbs, src)
+	dp.valid = true
+
+	srcW := dp.winIndex(src)
+	if nodeW != nil {
+		dp.cost[srcW] = nodeW(dp.box.Index(src))
+	} else {
+		dp.cost[srcW] = 0
+	}
+
+	// Iterate window points in row-major (non-decreasing coordinate) order,
+	// which is a topological order of the DAG. Maintain the absolute point
+	// and the box id incrementally via an odometer.
+	pt := make([]int, d)
+	copy(pt, dp.winLo)
+	boxID := dp.box.Index(pt)
+	for w := 0; w < dp.wsize; w++ {
+		c := dp.cost[w]
+		if c < Inf {
+			// Relax outgoing edges.
+			for a := 0; a < d; a++ {
+				if pt[a]+1 >= dp.winHi[a] {
+					continue
+				}
+				nb := boxID + dp.box.stride[a]
+				nw := w + dp.wstr[a]
+				ec := c + edgeW(boxID, a)
+				if nodeW != nil {
+					ec += nodeW(nb)
+				}
+				if ec < dp.cost[nw] {
+					dp.cost[nw] = ec
+					dp.pred[nw] = int8(a)
+				}
+			}
+		}
+		// Odometer increment (row-major: last axis fastest).
+		for a := d - 1; a >= 0; a-- {
+			pt[a]++
+			boxID += dp.box.stride[a]
+			if pt[a] < dp.winHi[a] {
+				break
+			}
+			boxID -= dp.wdims[a] * dp.box.stride[a]
+			pt[a] = dp.winLo[a]
+		}
+	}
+}
+
+// CostAt returns the lightest-path cost from the source to p, or Inf if p is
+// outside the window or unreachable.
+func (dp *DP) CostAt(p []int) float64 {
+	if !dp.valid || !dp.inWindow(p) {
+		return Inf
+	}
+	return dp.cost[dp.winIndex(p)]
+}
+
+// PathTo reconstructs the lightest path to p. It returns nil when p is
+// unreachable.
+func (dp *DP) PathTo(p []int) *Path {
+	if dp.CostAt(p) == Inf {
+		return nil
+	}
+	cur := append([]int(nil), p...)
+	var rev []uint8
+	for {
+		w := dp.winIndex(cur)
+		a := dp.pred[w]
+		if a < 0 {
+			break
+		}
+		rev = append(rev, uint8(a))
+		cur[a]--
+	}
+	// cur is now the source; reverse the axes.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return &Path{Start: cur, Axes: rev}
+}
+
+// FloorDiv returns floor(a/b) for b > 0 (Go's integer division truncates
+// toward zero, which is wrong for tiling negative w coordinates).
+func FloorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,356 @@
+// Package netsim is a cycle-accurate synchronous store-and-forward network
+// simulator for uni-directional grids (Sec. 2.1 of Even–Medina).
+//
+// It supports the two node-functionality models compared in Appendix F:
+//
+//   - Model 1 (ARSU02, RR09; used by the paper): a combinational node may
+//     cut a packet through from an incoming link to an outgoing link within
+//     one cycle; only packets held across a cycle boundary occupy the B
+//     buffer slots.
+//   - Model 2 (AKK09, AZ05): every packet present at a node during a cycle
+//     occupies a buffer slot, including packets forwarded in that cycle.
+//
+// Two execution modes exist: replaying explicit space-time schedules (the
+// output of the paper's algorithms) with full capacity/buffer verification,
+// and running local priority policies (greedy, nearest-to-go) step by step.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"gridroute/internal/grid"
+	"gridroute/internal/spacetime"
+)
+
+// Model selects the node functionality (Appendix F).
+type Model int
+
+const (
+	// Model1 allows cut-through: only held packets use buffer slots.
+	Model1 Model = iota
+	// Model2 charges a buffer slot to every packet present during a cycle.
+	Model2
+)
+
+func (m Model) String() string {
+	if m == Model2 {
+		return "model2"
+	}
+	return "model1"
+}
+
+// OutcomeKind classifies what happened to a request.
+type OutcomeKind int
+
+const (
+	// Unserved: the request was never injected (admission control rejected
+	// it, or it never appeared in the executed schedule set).
+	Unserved OutcomeKind = iota
+	// Delivered: the packet reached its destination (check OnTime for the
+	// deadline).
+	Delivered
+	// Dropped: the packet was injected and later preempted/dropped.
+	Dropped
+	// Stuck: the packet was still travelling when the horizon ended.
+	Stuck
+)
+
+func (k OutcomeKind) String() string {
+	switch k {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	case Stuck:
+		return "stuck"
+	default:
+		return "unserved"
+	}
+}
+
+// Outcome is the per-request result.
+type Outcome struct {
+	Kind        OutcomeKind
+	DeliveredAt int64
+	OnTime      bool
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Name      string
+	Outcomes  []Outcome
+	Violation []string
+	// MaxBuffer is the peak buffer occupancy observed at any node.
+	MaxBuffer int
+	// MaxLink is the peak per-edge link usage observed in any step.
+	MaxLink int
+}
+
+// Throughput returns the number of requests delivered on time — the paper's
+// objective |alg(σ)|.
+func (r *Result) Throughput() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Kind == Delivered && o.OnTime {
+			n++
+		}
+	}
+	return n
+}
+
+// DeliveredCount returns deliveries ignoring deadlines.
+func (r *Result) DeliveredCount() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Kind == Delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// CountKind returns the number of outcomes of kind k.
+func (r *Result) CountKind(k OutcomeKind) int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+type edgeKey struct {
+	node int
+	axis int8
+	t    int64
+}
+
+type nodeKey struct {
+	node int
+	t    int64
+}
+
+// ReplaySchedules executes explicit schedules under the given model,
+// verifying every link-capacity and buffer constraint. schedules[i] may be
+// nil for requests that were rejected. The returned result flags violations;
+// a correct algorithm produces none.
+func ReplaySchedules(g *grid.Grid, reqs []grid.Request, schedules []*spacetime.Schedule, model Model) *Result {
+	res := &Result{Outcomes: make([]Outcome, len(reqs))}
+	links := make(map[edgeKey]int)
+	bufs := make(map[nodeKey]int)
+
+	bump := func(m map[nodeKey]int, k nodeKey, res *Result) {
+		m[k]++
+		if m[k] > res.MaxBuffer {
+			res.MaxBuffer = m[k]
+		}
+	}
+
+	for i, s := range schedules {
+		if s == nil {
+			continue
+		}
+		if s.Req == nil || !s.Req.Src.Eq(reqs[i].Src) || s.Req.Arrival != reqs[i].Arrival {
+			res.Violation = append(res.Violation, fmt.Sprintf("req %d: schedule/request mismatch", i))
+			continue
+		}
+		pos := s.Src.Clone()
+		t := s.StartT
+		ok := true
+		for _, m := range s.Moves {
+			if m == spacetime.Hold {
+				bump(bufs, nodeKey{g.Index(pos), t}, res)
+			} else {
+				ek := edgeKey{g.Index(pos), int8(m), t}
+				links[ek]++
+				if links[ek] > res.MaxLink {
+					res.MaxLink = links[ek]
+				}
+				pos[m]++
+				if pos[m] >= g.Dims[m] {
+					res.Violation = append(res.Violation, fmt.Sprintf("req %d: leaves grid", i))
+					ok = false
+					break
+				}
+			}
+			t++
+		}
+		if !ok {
+			res.Outcomes[i] = Outcome{Kind: Dropped}
+			continue
+		}
+		if pos.Eq(reqs[i].Dst) {
+			onTime := reqs[i].Deadline == grid.InfDeadline || t <= reqs[i].Deadline
+			res.Outcomes[i] = Outcome{Kind: Delivered, DeliveredAt: t, OnTime: onTime}
+		} else {
+			res.Outcomes[i] = Outcome{Kind: Dropped}
+		}
+	}
+
+	// Model 2 presence accounting: a packet is present at a node for every
+	// cycle from its arrival there until it departs; charge each such cycle.
+	if model == Model2 {
+		bufs = make(map[nodeKey]int)
+		res.MaxBuffer = 0
+		for i, s := range schedules {
+			if s == nil {
+				continue
+			}
+			pos := s.Src.Clone()
+			t := s.StartT
+			for _, m := range s.Moves {
+				if !pos.Eq(reqs[i].Dst) {
+					bump(bufs, nodeKey{g.Index(pos), t}, res)
+				}
+				if m != spacetime.Hold {
+					pos[m]++
+					if pos[m] >= g.Dims[m] {
+						break
+					}
+				}
+				t++
+			}
+		}
+	}
+
+	for k, n := range links {
+		if n > g.C {
+			res.Violation = append(res.Violation,
+				fmt.Sprintf("link capacity exceeded: node %d axis %d t=%d: %d > %d", k.node, k.axis, k.t, n, g.C))
+		}
+	}
+	for k, n := range bufs {
+		if n > g.B {
+			res.Violation = append(res.Violation,
+				fmt.Sprintf("buffer exceeded: node %d t=%d: %d > %d", k.node, k.t, n, g.B))
+		}
+	}
+	return res
+}
+
+// Packet is a live packet in the policy engine.
+type Packet struct {
+	Req *grid.Request
+	Idx int
+	Pos grid.Vec
+	// InjectedAt is the time the packet entered the network.
+	InjectedAt int64
+}
+
+// Policy drives local (distributed) algorithms such as greedy and
+// nearest-to-go.
+type Policy interface {
+	Name() string
+	// Priority orders packets at a node; smaller values are served first
+	// (forwarded before others, retained in buffers before others).
+	Priority(p *Packet, now int64) int64
+	// NextAxis picks the outgoing axis for a packet (it must satisfy
+	// Pos[axis] < Dst[axis]); it is only called when Pos ≠ Dst.
+	NextAxis(g *grid.Grid, p *Packet) int
+}
+
+// RunLocal executes a local policy step by step until horizon (inclusive).
+// Injection is greedy: every arriving packet enters the fray and competes
+// for link and buffer space under the policy's priority; losers are dropped
+// (the behaviour whose competitive ratio Table 1 lower-bounds).
+func RunLocal(g *grid.Grid, reqs []grid.Request, pol Policy, model Model, horizon int64) *Result {
+	res := &Result{Name: pol.Name(), Outcomes: make([]Outcome, len(reqs))}
+
+	// Arrivals grouped by time.
+	arrivals := make(map[int64][]int)
+	for i := range reqs {
+		arrivals[reqs[i].Arrival] = append(arrivals[reqs[i].Arrival], i)
+	}
+
+	atNode := make(map[int][]*Packet)
+	var moved []*Packet
+
+	for t := int64(0); t <= horizon; t++ {
+		// 1. Inject arrivals.
+		for _, idx := range arrivals[t] {
+			r := &reqs[idx]
+			p := &Packet{Req: r, Idx: idx, Pos: r.Src.Clone(), InjectedAt: t}
+			nid := g.Index(p.Pos)
+			atNode[nid] = append(atNode[nid], p)
+		}
+		// 2-4. Per-node processing.
+		moved = moved[:0]
+		for nid, pkts := range atNode {
+			if len(pkts) == 0 {
+				continue
+			}
+			// Deliveries first: packets at their destination leave the
+			// network and use no resources.
+			keep := pkts[:0]
+			for _, p := range pkts {
+				if p.Pos.Eq(p.Req.Dst) {
+					onTime := p.Req.Deadline == grid.InfDeadline || t <= p.Req.Deadline
+					res.Outcomes[p.Idx] = Outcome{Kind: Delivered, DeliveredAt: t, OnTime: onTime}
+				} else {
+					keep = append(keep, p)
+				}
+			}
+			pkts = keep
+
+			sort.SliceStable(pkts, func(a, b int) bool {
+				return pol.Priority(pkts[a], t) < pol.Priority(pkts[b], t)
+			})
+
+			// Model 2: every packet present needs a buffer slot before any
+			// forwarding happens.
+			if model == Model2 && len(pkts) > g.B {
+				for _, p := range pkts[g.B:] {
+					res.Outcomes[p.Idx] = Outcome{Kind: Dropped}
+				}
+				pkts = pkts[:g.B]
+			}
+			// Forward up to C per outgoing axis, in priority order.
+			used := make([]int, g.D())
+			stay := pkts[:0]
+			for _, p := range pkts {
+				a := pol.NextAxis(g, p)
+				if a >= 0 && a < g.D() && p.Pos[a] < p.Req.Dst[a] && used[a] < g.C {
+					used[a]++
+					p.Pos[a]++
+					moved = append(moved, p)
+				} else {
+					stay = append(stay, p)
+				}
+			}
+			// Buffer retention: best B stay, rest dropped.
+			if len(stay) > g.B {
+				for _, p := range stay[g.B:] {
+					res.Outcomes[p.Idx] = Outcome{Kind: Dropped}
+				}
+				stay = stay[:g.B]
+			}
+			if len(stay) > res.MaxBuffer {
+				res.MaxBuffer = len(stay)
+			}
+			if len(stay) == 0 {
+				delete(atNode, nid)
+			} else {
+				buf := make([]*Packet, len(stay))
+				copy(buf, stay)
+				atNode[nid] = buf
+			}
+		}
+		// 5. Arrivals land at their new nodes for step t+1.
+		for _, p := range moved {
+			nid := g.Index(p.Pos)
+			atNode[nid] = append(atNode[nid], p)
+		}
+	}
+
+	// Anything still in flight is stuck.
+	for _, pkts := range atNode {
+		for _, p := range pkts {
+			if res.Outcomes[p.Idx].Kind == Unserved {
+				res.Outcomes[p.Idx] = Outcome{Kind: Stuck}
+			}
+		}
+	}
+	return res
+}

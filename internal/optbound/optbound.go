@@ -1,0 +1,329 @@
+// Package optbound produces the OPT certificates used by the benchmark
+// harness (DESIGN.md §2). Exact integral OPT for online packet routing is
+// NP-hard in general, so competitive ratios are reported against:
+//
+//  1. DualUpperBound — a certified upper bound on the optimal fractional
+//     throughput over the simulated horizon, obtained by running the
+//     Theorem 1 primal–dual packer directly on the space-time graph with
+//     the true capacities (B, c) and reading off the feasible primal
+//     covering value Σ c(e)·x_e + Σ z_i (weak duality, Appendix E). The
+//     paper itself compares against the fractional optimum (Prop. 5).
+//  2. ExactBufferlessLine — exact OPT for B = 0 lines, where each request
+//     is an interval in an independent column of the untilted lattice and
+//     OPT decomposes into per-column c-machine interval scheduling
+//     (the setting of Prop. 12).
+//  3. ExactTiny — exhaustive search for very small instances (test oracle).
+//
+// The space-time packer built here is also the Theorem 13 algorithm (large
+// B, c): run ipp over Gst with capacities scaled down by k and route
+// non-preemptively.
+package optbound
+
+import (
+	"sort"
+
+	"gridroute/internal/grid"
+	"gridroute/internal/ipp"
+	"gridroute/internal/lattice"
+	"gridroute/internal/spacetime"
+)
+
+// STPacker runs online integral path packing directly over an untilted
+// space-time lattice with uniform per-axis capacities.
+type STPacker struct {
+	ST *spacetime.Graph
+	// BCap and CCap are the capacities used for w-axis and space-axis
+	// edges. They can differ from the grid's (B, c): Theorem 13 uses
+	// ⌊B/k⌋ and ⌊c/k⌋.
+	BCap, CCap float64
+
+	pk *ipp.Packer
+	dp *lattice.DP
+
+	winLo, winHi []int
+	edgeBuf      []ipp.EdgeID
+}
+
+// NewSTPacker builds a packer over st with the given axis capacities and
+// path-length bound pmax. bCap may be 0 (bufferless; w edges forbidden);
+// cCap must be ≥ 1.
+func NewSTPacker(st *spacetime.Graph, bCap, cCap float64, pmax int) *STPacker {
+	sp := &STPacker{
+		ST: st, BCap: bCap, CCap: cCap,
+		dp:    st.Box.NewDP(),
+		winLo: make([]int, st.G.D()+1),
+		winHi: make([]int, st.G.D()+1),
+	}
+	d := st.G.D()
+	sp.pk = ipp.New(pmax, func(e ipp.EdgeID) float64 {
+		if int(e)%(d+1) == d {
+			return bCap
+		}
+		return cCap
+	})
+	return sp
+}
+
+// Packer exposes the underlying ipp state (loads, primal value, counts).
+func (sp *STPacker) Packer() *ipp.Packer { return sp.pk }
+
+func (sp *STPacker) edgeID(node, axis int) ipp.EdgeID {
+	return ipp.EdgeID(node*(sp.ST.G.D()+1) + axis)
+}
+
+// LightestPath returns the current lightest legal space-time path for r and
+// its weight, or nil when no legal path exists.
+func (sp *STPacker) LightestPath(r *grid.Request) (*lattice.Path, float64) {
+	d := sp.ST.G.D()
+	src := sp.ST.SourcePoint(r)
+	if !sp.ST.Box.Contains(src) {
+		return nil, 0
+	}
+	wLo, wHi := sp.ST.DestRay(r)
+	if wLo < src[d] {
+		wLo = src[d]
+	}
+	// Path length = (w' − w_src) + dist; enforce ≤ pmax via the window.
+	dist := sp.ST.G.Dist(r.Src, r.Dst)
+	if dist < 0 {
+		return nil, 0
+	}
+	if lim := src[d] + sp.pk.PMax() - dist; wHi > lim {
+		wHi = lim
+	}
+	if sp.BCap < 1 {
+		// Bufferless: no w moves possible.
+		wHi = src[d]
+		if wLo > wHi {
+			return nil, 0
+		}
+	}
+	if wHi < wLo {
+		return nil, 0
+	}
+	for i := 0; i < d; i++ {
+		sp.winLo[i] = src[i]
+		sp.winHi[i] = r.Dst[i] + 1
+	}
+	sp.winLo[d] = src[d]
+	sp.winHi[d] = wHi + 1
+
+	blockW := sp.BCap < 1
+	edgeW := func(id, a int) float64 {
+		if blockW && a == d {
+			return lattice.Inf
+		}
+		return sp.pk.Weight(sp.edgeID(id, a))
+	}
+	sp.dp.Run(sp.winLo, sp.winHi, src, edgeW, nil)
+
+	probe := make([]int, d+1)
+	copy(probe, r.Dst)
+	best := lattice.Inf
+	bestW := 0
+	for w := wLo; w <= wHi; w++ {
+		probe[d] = w
+		if c := sp.dp.CostAt(probe); c < best {
+			best = c
+			bestW = w
+		}
+	}
+	if best == lattice.Inf {
+		return nil, 0
+	}
+	probe[d] = bestW
+	return sp.dp.PathTo(probe), best
+}
+
+// Offer runs one step of Algorithm 3 for r: find the lightest path, accept
+// if its weight is < 1. It returns the committed path on acceptance.
+func (sp *STPacker) Offer(r *grid.Request) (*lattice.Path, bool) {
+	p, cost := sp.LightestPath(r)
+	if p == nil {
+		sp.pk.Offer(nil, 0)
+		return nil, false
+	}
+	sp.edgeBuf = sp.edgeBuf[:0]
+	cur := append([]int(nil), p.Start...)
+	for _, a := range p.Axes {
+		sp.edgeBuf = append(sp.edgeBuf, sp.edgeID(sp.ST.Box.Index(cur), int(a)))
+		cur[a]++
+	}
+	if !sp.pk.Offer(sp.edgeBuf, cost) {
+		return nil, false
+	}
+	return p, true
+}
+
+// DualUpperBound offers every request to a true-capacity space-time packer
+// and returns (a) the certified primal upper bound on the fractional OPT
+// within the horizon, and (b) the number of requests the packer itself
+// routed (a feasible online throughput, hence a lower bound witness).
+func DualUpperBound(g *grid.Grid, reqs []grid.Request, T int64) (upper float64, accepted int) {
+	st := spacetime.New(g, T)
+	// Any path within the box fits this bound.
+	pmax := g.Diameter() + int(T) + 1
+	bCap := float64(g.B)
+	sp := NewSTPacker(st, bCap, float64(g.C), pmax)
+	for i := range reqs {
+		sp.Offer(&reqs[i])
+	}
+	return sp.pk.PrimalValue(), sp.pk.Accepted()
+}
+
+// ExactBufferlessLine computes the exact optimal throughput for a
+// uni-directional line with B = 0 (Prop. 12 setting). Each request occupies
+// the interval (a_i, b_i) of its fixed column w = t_i − a_i, and columns are
+// independent; per column, OPT is c-machine interval scheduling, solved
+// exactly by the greedy over intervals sorted by right endpoint that
+// assigns each interval to the compatible machine with the latest finishing
+// time.
+func ExactBufferlessLine(g *grid.Grid, reqs []grid.Request) int {
+	if g.D() != 1 || g.B != 0 {
+		panic("optbound: ExactBufferlessLine requires a bufferless line")
+	}
+	type iv struct{ lo, hi int }
+	cols := make(map[int][]iv)
+	for i := range reqs {
+		r := &reqs[i]
+		w := int(r.Arrival) - r.Src[0]
+		cols[w] = append(cols[w], iv{r.Src[0], r.Dst[0]})
+	}
+	total := 0
+	for _, ivs := range cols {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].hi < ivs[b].hi })
+		machines := make([]int, g.C) // finishing coordinate per machine
+		for i := range machines {
+			machines[i] = -1 << 60
+		}
+		for _, v := range ivs {
+			// Latest compatible machine (open intervals: endpoints may touch).
+			bestM, bestEnd := -1, -1<<62
+			for m, end := range machines {
+				if end <= v.lo && end > bestEnd {
+					bestM, bestEnd = m, end
+				}
+			}
+			if bestM >= 0 {
+				machines[bestM] = v.hi
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// ExactTiny exhaustively computes the optimal throughput for very small
+// instances by enumerating candidate space-time paths per request and
+// searching over assignments. It returns (opt, true) on success or
+// (0, false) when the instance exceeds the enumeration limits.
+func ExactTiny(g *grid.Grid, reqs []grid.Request, T int64, maxPathsPerReq, maxReqs int) (int, bool) {
+	if len(reqs) > maxReqs {
+		return 0, false
+	}
+	st := spacetime.New(g, T)
+	d := g.D()
+	// Enumerate monotone lattice paths per request.
+	paths := make([][][]ipp.EdgeID, len(reqs))
+	for i := range reqs {
+		r := &reqs[i]
+		src := st.SourcePoint(r)
+		wLo, wHi := st.DestRay(r)
+		if wLo < src[d] {
+			wLo = src[d]
+		}
+		if g.B == 0 {
+			wHi = src[d]
+		}
+		var out [][]ipp.EdgeID
+		var cur []ipp.EdgeID
+		pos := append([]int(nil), src...)
+		overflow := false
+		var dfs func()
+		dfs = func() {
+			if overflow {
+				return
+			}
+			atDst := true
+			for a := 0; a < d; a++ {
+				if pos[a] != r.Dst[a] {
+					atDst = false
+					break
+				}
+			}
+			if atDst && pos[d] >= wLo && pos[d] <= wHi {
+				if len(out) >= maxPathsPerReq {
+					overflow = true
+					return
+				}
+				out = append(out, append([]ipp.EdgeID(nil), cur...))
+				// Arriving earlier dominates arriving later with the same
+				// spatial route only when capacities bite; keep exploring.
+			}
+			for a := 0; a <= d; a++ {
+				if a < d && pos[a] >= r.Dst[a] {
+					continue
+				}
+				if a == d && (g.B == 0 || pos[d] >= wHi) {
+					continue
+				}
+				id := st.Box.Index(pos)
+				cur = append(cur, ipp.EdgeID(id*(d+1)+a))
+				pos[a]++
+				dfs()
+				pos[a]--
+				cur = cur[:len(cur)-1]
+			}
+		}
+		dfs()
+		if overflow {
+			return 0, false
+		}
+		paths[i] = out
+	}
+
+	use := make(map[ipp.EdgeID]int)
+	capOf := func(e ipp.EdgeID) int {
+		if int(e)%(d+1) == d {
+			return g.B
+		}
+		return g.C
+	}
+	best := 0
+	var rec func(i, served int)
+	rec = func(i, served int) {
+		if served+len(reqs)-i <= best {
+			return
+		}
+		if i == len(reqs) {
+			if served > best {
+				best = served
+			}
+			return
+		}
+		for _, p := range paths[i] {
+			ok := true
+			for _, e := range p {
+				if use[e]+1 > capOf(e) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, e := range p {
+					use[e]++
+				}
+				rec(i+1, served+1)
+				for _, e := range p {
+					use[e]--
+					if use[e] == 0 {
+						delete(use, e)
+					}
+				}
+			}
+		}
+		rec(i+1, served)
+	}
+	rec(0, 0)
+	return best, true
+}

@@ -1,0 +1,128 @@
+// Package render draws ASCII pictures of grids, untilted space-time
+// lattices, tilings and routed paths — the executable counterparts of the
+// paper's Figures 1–10 (see cmd/viz).
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"gridroute/internal/grid"
+	"gridroute/internal/lattice"
+	"gridroute/internal/tiling"
+)
+
+// Grid2D draws a 2-dimensional grid network in the style of Fig. 1: nodes
+// as "o", horizontal and vertical uni-directional edges.
+func Grid2D(g *grid.Grid) string {
+	if g.D() != 2 {
+		return "render: Grid2D requires d = 2"
+	}
+	lx, ly := g.Dims[0], g.Dims[1]
+	var b strings.Builder
+	for y := ly - 1; y >= 0; y-- {
+		// Node row.
+		for x := 0; x < lx; x++ {
+			b.WriteString("o")
+			if x < lx-1 {
+				b.WriteString("-->")
+			}
+		}
+		b.WriteString("\n")
+		if y > 0 {
+			for x := 0; x < lx; x++ {
+				b.WriteString("^")
+				if x < lx-1 {
+					b.WriteString("   ")
+				}
+			}
+			b.WriteString("\n")
+			for x := 0; x < lx; x++ {
+				b.WriteString("|")
+				if x < lx-1 {
+					b.WriteString("   ")
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, "%d x %d uni-directional grid, B=%d, c=%d\n", lx, ly, g.B, g.C)
+	return b.String()
+}
+
+// Canvas is a character raster over a 2-axis lattice window: rows are the
+// space axis (north up), columns the w = t−x axis (east right).
+type Canvas struct {
+	xLo, xHi, wLo, wHi int // inclusive point ranges
+	cells              [][]byte
+}
+
+// NewCanvas creates a canvas covering x ∈ [xLo, xHi], w ∈ [wLo, wHi].
+func NewCanvas(xLo, xHi, wLo, wHi int) *Canvas {
+	c := &Canvas{xLo: xLo, xHi: xHi, wLo: wLo, wHi: wHi}
+	rows := xHi - xLo + 1
+	cols := wHi - wLo + 1
+	c.cells = make([][]byte, rows)
+	for i := range c.cells {
+		c.cells[i] = []byte(strings.Repeat(".", cols))
+	}
+	return c
+}
+
+// Set writes ch at point (x, w) when inside the canvas.
+func (c *Canvas) Set(x, w int, ch byte) {
+	if x < c.xLo || x > c.xHi || w < c.wLo || w > c.wHi {
+		return
+	}
+	c.cells[x-c.xLo][w-c.wLo] = ch
+}
+
+// DrawTiles overlays tile boundaries: '+' at tile corners.
+func (c *Canvas) DrawTiles(tl *tiling.Tiling) {
+	for x := c.xLo; x <= c.xHi; x++ {
+		for w := c.wLo; w <= c.wHi; w++ {
+			offX := mod(x-tl.Phase[0], tl.Side[0])
+			offW := mod(w-tl.Phase[1], tl.Side[1])
+			if offX == 0 && offW == 0 {
+				c.Set(x, w, '+')
+			} else if offX == 0 {
+				c.Set(x, w, '-')
+			} else if offW == 0 {
+				c.Set(x, w, '|')
+			}
+		}
+	}
+}
+
+func mod(a, b int) int {
+	r := a % b
+	if r < 0 {
+		r += b
+	}
+	return r
+}
+
+// DrawPath overlays a lattice path using ch, marking start 'S' and end 'E'.
+func (c *Canvas) DrawPath(p *lattice.Path, ch byte) {
+	first := true
+	p.Visit(func(pt []int) {
+		if first {
+			c.Set(pt[0], pt[1], 'S')
+			first = false
+			return
+		}
+		c.Set(pt[0], pt[1], ch)
+	})
+	end := p.End()
+	c.Set(end[0], end[1], 'E')
+}
+
+// String renders the canvas with north (larger x) on top.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	for i := len(c.cells) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "x=%3d  %s\n", c.xLo+i, string(c.cells[i]))
+	}
+	fmt.Fprintf(&b, "       w = t - x from %d to %d (east →)\n", c.wLo, c.wHi)
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"gridroute/internal/grid"
+	"gridroute/internal/lattice"
+	"gridroute/internal/spacetime"
+	"gridroute/internal/tiling"
+)
+
+func TestGrid2D(t *testing.T) {
+	out := Grid2D(grid.New([]int{4, 4}, 2, 1))
+	if !strings.Contains(out, "o-->o-->o-->o") {
+		t.Fatalf("missing node row:\n%s", out)
+	}
+	if !strings.Contains(out, "4 x 4 uni-directional grid, B=2, c=1") {
+		t.Fatal("missing caption")
+	}
+	if !strings.Contains(Grid2D(grid.Line(4, 1, 1)), "requires d = 2") {
+		t.Fatal("should refuse non-2d grids")
+	}
+}
+
+func TestCanvasTilesAndPath(t *testing.T) {
+	g := grid.Line(8, 2, 2)
+	st := spacetime.New(g, 12)
+	tl := tiling.New(st.Box, []int{4, 4}, []int{0, 0})
+	c := NewCanvas(0, 7, -7, 12)
+	c.DrawTiles(tl)
+	p := &lattice.Path{Start: []int{1, 0}, Axes: []uint8{0, 1, 0}}
+	c.DrawPath(p, '#')
+	out := c.String()
+	if !strings.Contains(out, "S") || !strings.Contains(out, "E") {
+		t.Fatalf("path endpoints missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Fatal("tile corners missing")
+	}
+	if !strings.Contains(out, "w = t - x") {
+		t.Fatal("axis caption missing")
+	}
+}
+
+func TestCanvasClipsOutOfRange(t *testing.T) {
+	c := NewCanvas(0, 3, 0, 3)
+	c.Set(10, 10, 'X') // must not panic
+	if strings.Contains(c.String(), "X") {
+		t.Fatal("out-of-range write landed")
+	}
+}

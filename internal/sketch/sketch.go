@@ -1,0 +1,267 @@
+// Package sketch builds the sketch graph over the tiles of an untilted
+// space-time lattice (Sec. 3.4 of Even–Medina) and provides the
+// lightest-path oracle that reduces packet requests to online integral path
+// packing (Sec. 5.1).
+//
+// Two capacity modes exist:
+//
+//   - Downscaled ({1, d+1, ∞}, Sec. 5.1 and Sec. 6): inter-tile edges get
+//     capacity 1 and the interior edge of every split tile gets capacity d+1
+//     (2 on a line). Used by the deterministic algorithm; the interior edges
+//     are folded into the shortest-path DP as node weights, so the split is
+//     never materialized.
+//   - Raw (Sec. 7.2): a space-axis edge gets capacity c·(face area), the w
+//     edge gets B·(face area); there are no interior edges. Used by the
+//     randomized algorithm.
+//
+// Sink nodes (one per destination, or per request when deadlines are
+// present) have infinite capacity, so their edges never acquire weight and
+// are simply omitted: the oracle minimizes over the destination tiles.
+package sketch
+
+import (
+	"math"
+
+	"gridroute/internal/grid"
+	"gridroute/internal/ipp"
+	"gridroute/internal/lattice"
+	"gridroute/internal/spacetime"
+	"gridroute/internal/tiling"
+)
+
+// Mode selects the capacity assignment.
+type Mode int
+
+const (
+	// Downscaled is the {1, d+1, ∞} assignment of the deterministic
+	// algorithm.
+	Downscaled Mode = iota
+	// Raw keeps the aggregated tile-face capacities (randomized algorithm).
+	Raw
+)
+
+// Graph is a sketch graph over the tiles of a space-time lattice.
+type Graph struct {
+	ST   *spacetime.Graph
+	Tl   *tiling.Tiling
+	Mode Mode
+
+	// axes is d+1 (number of lattice axes).
+	axes int
+	dp   *lattice.DP
+
+	// scratch buffers
+	srcTile  []int
+	dstTile  []int
+	winLo    []int
+	winHi    []int
+	faceArea []int // Π side[j], j≠axis
+}
+
+// New builds a sketch graph for st under tiling tl.
+func New(st *spacetime.Graph, tl *tiling.Tiling, mode Mode) *Graph {
+	axes := st.G.D() + 1
+	g := &Graph{
+		ST: st, Tl: tl, Mode: mode,
+		axes:    axes,
+		dp:      tl.TBox.NewDP(),
+		srcTile: make([]int, axes),
+		dstTile: make([]int, axes),
+		winLo:   make([]int, axes),
+		winHi:   make([]int, axes),
+	}
+	g.faceArea = make([]int, axes)
+	for a := 0; a < axes; a++ {
+		area := 1
+		for j := 0; j < axes; j++ {
+			if j != a {
+				area *= tl.Side[j]
+			}
+		}
+		g.faceArea[a] = area
+	}
+	return g
+}
+
+// AxisEdgeID returns the ipp edge id of the inter-tile edge leaving tileID
+// along axis.
+func (g *Graph) AxisEdgeID(tileID, axis int) ipp.EdgeID {
+	return ipp.EdgeID(tileID*g.axes + axis)
+}
+
+// InteriorEdgeID returns the ipp edge id of the interior edge of a split
+// tile (Downscaled mode only).
+func (g *Graph) InteriorEdgeID(tileID int) ipp.EdgeID {
+	return ipp.EdgeID(g.Tl.TBox.Size()*g.axes + tileID)
+}
+
+// DecodeEdge inverts the edge id scheme: it returns (tileID, axis, interior).
+func (g *Graph) DecodeEdge(e ipp.EdgeID) (tileID, axis int, interior bool) {
+	n := int(e)
+	base := g.Tl.TBox.Size() * g.axes
+	if n >= base {
+		return n - base, -1, true
+	}
+	return n / g.axes, n % g.axes, false
+}
+
+// Cap returns the capacity of an edge under the graph's mode. It is the
+// CapFunc handed to the ipp packer.
+func (g *Graph) Cap(e ipp.EdgeID) float64 {
+	_, axis, interior := g.DecodeEdge(e)
+	switch g.Mode {
+	case Downscaled:
+		if interior {
+			return float64(g.ST.G.D() + 1)
+		}
+		return 1
+	default: // Raw
+		if interior {
+			return math.Inf(1)
+		}
+		return float64(g.ST.Cap(axis) * g.faceArea[axis])
+	}
+}
+
+// RawCap returns the aggregated (pre-downscaling) capacity of an inter-tile
+// edge along axis: c·faceArea for space axes, B·faceArea for the w axis
+// (Sec. 3.4: "c·τ and B·Q" on a line).
+func (g *Graph) RawCap(axis int) int {
+	return g.ST.Cap(axis) * g.faceArea[axis]
+}
+
+// RawNodeCap returns the paper's tile node capacity
+// (d+1)·k^{d+1}·(B + d·c) — 2·k²·(B+c) on a line.
+func (g *Graph) RawNodeCap() int {
+	d := g.ST.G.D()
+	vol := 1
+	for _, s := range g.Tl.Side {
+		vol *= s
+	}
+	return (d + 1) * vol * (g.ST.G.B + d*g.ST.G.C)
+}
+
+// Route is a sketch path: a sequence of tiles, the axes stepped between
+// them, and the flat ipp edge list (including interior edges in Downscaled
+// mode) with its current total weight.
+type Route struct {
+	Tiles []int // dense tile ids, len = len(Axes)+1
+	Axes  []uint8
+	Edges []ipp.EdgeID
+	Cost  float64
+}
+
+// NumTiles returns the number of tiles traversed.
+func (r *Route) NumTiles() int { return len(r.Tiles) }
+
+// LightestRoute finds the lightest sketch path for a request from the tile
+// containing srcPoint to any tile containing a copy of the destination
+// (spatial coordinates dst, w ∈ [wLo, wHi]), visiting at most maxTiles
+// tiles. It returns nil when no legal route exists.
+//
+// In Downscaled mode the cost includes the interior edge of every visited
+// tile (the path s¹_in → … → sᴸ_out of Sec. 5.1).
+func (g *Graph) LightestRoute(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int) *Route {
+	d := g.ST.G.D()
+	wa := d // the w axis index
+	g.Tl.TileOf(srcPoint, g.srcTile)
+
+	// Destination tile coordinates: fixed per space axis, ranging on w.
+	for i := 0; i < d; i++ {
+		g.dstTile[i] = lattice.FloorDiv(dst[i]-g.Tl.Phase[i], g.Tl.Side[i])
+		if g.dstTile[i] < g.srcTile[i] {
+			return nil // unreachable (cannot happen for feasible requests)
+		}
+	}
+	dwLo := lattice.FloorDiv(wLo-g.Tl.Phase[wa], g.Tl.Side[wa])
+	dwHi := lattice.FloorDiv(wHi-g.Tl.Phase[wa], g.Tl.Side[wa])
+	if dwLo < g.srcTile[wa] {
+		dwLo = g.srcTile[wa]
+	}
+	if dwHi > g.Tl.TBox.Hi[wa]-1 {
+		dwHi = g.Tl.TBox.Hi[wa] - 1
+	}
+	if dwHi < dwLo {
+		return nil
+	}
+
+	// Tile-count bound: L tiles means L−1 = L1 distance steps; clip the w
+	// extent so that spatialDist + wSteps ≤ maxTiles−1.
+	spatial := 0
+	for i := 0; i < d; i++ {
+		spatial += g.dstTile[i] - g.srcTile[i]
+	}
+	if budget := maxTiles - 1 - spatial; budget < 0 {
+		return nil
+	} else if dwHi > g.srcTile[wa]+budget {
+		dwHi = g.srcTile[wa] + budget
+	}
+	if dwHi < dwLo {
+		return nil
+	}
+
+	// DP window: [srcTile .. dstTile] per space axis, [srcW .. dwHi] on w.
+	for i := 0; i < d; i++ {
+		g.winLo[i] = g.srcTile[i]
+		g.winHi[i] = g.dstTile[i] + 1
+	}
+	g.winLo[wa] = g.srcTile[wa]
+	g.winHi[wa] = dwHi + 1
+
+	var nodeW lattice.NodeWeight
+	if g.Mode == Downscaled {
+		nodeW = func(id int) float64 { return pk.Weight(g.InteriorEdgeID(id)) }
+	}
+	edgeW := func(id, a int) float64 { return pk.Weight(g.AxisEdgeID(id, a)) }
+	g.dp.Run(g.winLo, g.winHi, g.srcTile, edgeW, nodeW)
+
+	// Minimize over the destination ray.
+	best := math.Inf(1)
+	bestW := 0
+	probe := append([]int(nil), g.dstTile...)
+	for w := dwLo; w <= dwHi; w++ {
+		probe[wa] = w
+		if c := g.dp.CostAt(probe); c < best {
+			best = c
+			bestW = w
+		}
+	}
+	if math.IsInf(best, 1) {
+		return nil
+	}
+	probe[wa] = bestW
+	p := g.dp.PathTo(probe)
+	if p == nil {
+		return nil
+	}
+	return g.routeFromPath(p, best)
+}
+
+func (g *Graph) routeFromPath(p *lattice.Path, cost float64) *Route {
+	r := &Route{
+		Tiles: make([]int, 0, len(p.Axes)+1),
+		Axes:  append([]uint8(nil), p.Axes...),
+		Cost:  cost,
+	}
+	cur := append([]int(nil), p.Start...)
+	id := g.Tl.TBox.Index(cur)
+	r.Tiles = append(r.Tiles, id)
+	if g.Mode == Downscaled {
+		r.Edges = append(r.Edges, g.InteriorEdgeID(id))
+	}
+	for _, a := range p.Axes {
+		r.Edges = append(r.Edges, g.AxisEdgeID(id, int(a)))
+		cur[a]++
+		id = g.Tl.TBox.Index(cur)
+		r.Tiles = append(r.Tiles, id)
+		if g.Mode == Downscaled {
+			r.Edges = append(r.Edges, g.InteriorEdgeID(id))
+		}
+	}
+	return r
+}
+
+// TileCoords returns the tile coordinates of a dense tile id.
+func (g *Graph) TileCoords(tileID int, out []int) []int {
+	return g.Tl.TBox.Point(tileID, out)
+}

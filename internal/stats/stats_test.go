@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-1.2909944) > 1e-6 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 {
+		t.Fatalf("singleton: %+v", one)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("empty median should be NaN")
+	}
+}
+
+func TestGrowthExponentRecovers(t *testing.T) {
+	ns := []int{16, 32, 64, 128, 256}
+	// y = 3·n^0.5
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 3 * math.Sqrt(float64(n))
+	}
+	if b := GrowthExponent(ns, ys); math.Abs(b-0.5) > 1e-9 {
+		t.Fatalf("exponent = %v, want 0.5", b)
+	}
+	// Constant → 0.
+	for i := range ys {
+		ys[i] = 7
+	}
+	if b := GrowthExponent(ns, ys); math.Abs(b) > 1e-9 {
+		t.Fatalf("constant exponent = %v", b)
+	}
+	if !math.IsNaN(GrowthExponent(ns[:1], ys[:1])) {
+		t.Fatal("too few points should be NaN")
+	}
+}
+
+func TestGrowthExponentQuick(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := 0.5 + float64(aRaw%50)
+		b := float64(bRaw%30)/10 - 1.5
+		ns := []int{8, 16, 32, 64}
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			ys[i] = a * math.Pow(float64(n), b)
+		}
+		got := GrowthExponent(ns, ys)
+		return math.Abs(got-b) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogFit(t *testing.T) {
+	ns := []int{16, 32, 64, 128}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 2 + 5*math.Log(float64(n))
+	}
+	b, rms := LogFitQuality(ns, ys)
+	if math.Abs(b-5) > 1e-9 || rms > 1e-9 {
+		t.Fatalf("log fit b=%v rms=%v", b, rms)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "n", "ratio")
+	tb.AddRow(32, 1.5)
+	tb.AddRow(64, 2.25)
+	md := tb.Markdown()
+	for _, want := range []string{"### Demo", "| n | ratio |", "| 32 | 1.5 |", "| --- | --- |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridroute/internal/grid"
+)
+
+func TestUniformValid(t *testing.T) {
+	g := grid.New([]int{8, 8}, 2, 2)
+	rng := rand.New(rand.NewSource(1))
+	reqs := Uniform(g, 100, 50, rng)
+	if len(reqs) != 100 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	if i := grid.ValidateAll(g, reqs); i >= 0 {
+		t.Fatalf("invalid request at %d: %v", i, reqs[i])
+	}
+	for i := range reqs {
+		if reqs[i].Src.Eq(reqs[i].Dst) {
+			t.Fatal("src == dst should be filtered")
+		}
+		if reqs[i].ID != i {
+			t.Fatal("IDs must follow arrival order")
+		}
+	}
+}
+
+func TestSaturatingDemandExceedsCapacity(t *testing.T) {
+	g := grid.Line(16, 2, 1)
+	rng := rand.New(rand.NewSource(2))
+	reqs := Saturating(g, 4, 3, rng)
+	// Roughly rounds·n·burst requests (minus src==dst skips at the corner).
+	if len(reqs) < 4*16*3/2 {
+		t.Fatalf("too few requests: %d", len(reqs))
+	}
+	if i := grid.ValidateAll(g, reqs); i >= 0 {
+		t.Fatalf("invalid request at %d", i)
+	}
+}
+
+func TestHotspotSourcesConcentrated(t *testing.T) {
+	g := grid.Line(64, 1, 1)
+	rng := rand.New(rand.NewSource(3))
+	reqs := Hotspot(g, 200, 50, 0.25, rng)
+	for i := range reqs {
+		if reqs[i].Src[0] >= 16 {
+			t.Fatalf("hotspot source %v outside the corner region", reqs[i].Src)
+		}
+	}
+	if i := grid.ValidateAll(g, reqs); i >= 0 {
+		t.Fatalf("invalid request at %d", i)
+	}
+}
+
+func TestWithDeadlinesFeasible(t *testing.T) {
+	g := grid.Line(32, 2, 2)
+	rng := rand.New(rand.NewSource(4))
+	base := Uniform(g, 100, 64, rng)
+	reqs := WithDeadlines(g, base, 1.5, 8, rng)
+	for i := range reqs {
+		if !reqs[i].Feasible(g) {
+			t.Fatalf("infeasible deadline for %v", reqs[i])
+		}
+		if !reqs[i].HasDeadline() {
+			t.Fatal("deadline missing")
+		}
+	}
+	// Slack 1.0, jitter 0 → exactly tight deadlines.
+	tight := WithDeadlines(g, base, 1.0, 0, rng)
+	for i := range tight {
+		d := int64(g.Dist(tight[i].Src, tight[i].Dst))
+		if tight[i].Deadline != tight[i].Arrival+d {
+			t.Fatalf("tight deadline wrong: %v", tight[i])
+		}
+	}
+}
+
+func TestConvoyShape(t *testing.T) {
+	reqs := Convoy(16, 8, 2)
+	g := grid.Line(16, 2, 1)
+	if i := grid.ValidateAll(g, reqs); i >= 0 {
+		t.Fatalf("invalid request at %d", i)
+	}
+	longs, shorts := 0, 0
+	for i := range reqs {
+		if reqs[i].Dst[0]-reqs[i].Src[0] == 15 {
+			longs++
+		} else if reqs[i].Dst[0]-reqs[i].Src[0] == 1 {
+			shorts++
+		}
+	}
+	if longs != 8 {
+		t.Fatalf("longs = %d, want 8", longs)
+	}
+	if shorts != 4*14 {
+		t.Fatalf("shorts = %d, want %d", shorts, 4*14)
+	}
+	if ConvoyOPTLowerBound(16, 8, 2) != 4*14 {
+		t.Fatalf("OPT lower bound = %d", ConvoyOPTLowerBound(16, 8, 2))
+	}
+}
+
+func TestCrossbar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, reqs := Crossbar(8, 3, 3, 10, 0.8, rng)
+	if g.D() != 2 {
+		t.Fatal("crossbar must be 2-d")
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no crossbar traffic")
+	}
+	if i := grid.ValidateAll(g, reqs); i >= 0 {
+		t.Fatalf("invalid request at %d: %v", i, reqs[i])
+	}
+	for i := range reqs {
+		if reqs[i].Src[1] != 0 {
+			t.Fatal("crossbar ingress must be on column 0")
+		}
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	g := grid.New([]int{6, 6}, 1, 1)
+	rng := rand.New(rand.NewSource(6))
+	reqs := Permutation(g, 10, rng)
+	if len(reqs) == 0 || len(reqs) > g.N() {
+		t.Fatalf("bad request count %d", len(reqs))
+	}
+	if i := grid.ValidateAll(g, reqs); i >= 0 {
+		t.Fatalf("invalid request at %d", i)
+	}
+}
