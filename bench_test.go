@@ -444,11 +444,35 @@ func BenchmarkK(b *testing.B) {
 }
 
 // BenchmarkExperimentsQuick regenerates the full quick-mode EXPERIMENTS
-// suite; it is the one-stop reproduction target.
+// suite through the registry runner; it is the one-stop reproduction
+// target and exercises the parallel path.
 func BenchmarkExperimentsQuick(b *testing.B) {
+	r := experiments.Runner{Workers: 4, Quick: true}
 	for i := 0; i < b.N; i++ {
-		if rs := experiments.All(true); len(rs) < 10 {
+		rs := r.RunAll()
+		if len(rs) < 10 {
 			b.Fatal("missing experiment reports")
 		}
+		for _, res := range rs {
+			if len(res.Report.Tables) == 0 {
+				b.Fatalf("%s: empty report", res.Experiment.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkExperiment runs one sub-benchmark per registered experiment ID,
+// driving each through the registry with its canonical derived seed — the
+// per-experiment timing counterpart of BENCH_experiments.json.
+func BenchmarkExperiment(b *testing.B) {
+	for _, e := range experiments.Registered() {
+		b.Run(e.ID, func(b *testing.B) {
+			cfg := experiments.Config{Quick: true, Seed: experiments.SeedFor(e.ID)}
+			for i := 0; i < b.N; i++ {
+				if rep := e.Run(cfg); len(rep.Tables) == 0 {
+					b.Fatalf("%s: empty report", e.ID)
+				}
+			}
+		})
 	}
 }

@@ -1,27 +1,59 @@
 // Command experiments regenerates EXPERIMENTS.md: every table and figure of
 // Even–Medina (SPAA 2011) in executable form, with certified OPT bounds.
 //
+// Experiments run in parallel over a bounded worker pool; each one is
+// seeded from its ID alone, so the tables are byte-identical for any -j.
+//
 // Usage:
 //
-//	go run ./cmd/experiments            # full sweep (a few minutes)
-//	go run ./cmd/experiments -quick     # small sweep (seconds)
-//	go run ./cmd/experiments -out FILE  # write to FILE instead of stdout
+//	go run ./cmd/experiments                 # full sweep (a few minutes)
+//	go run ./cmd/experiments -quick          # small sweep (seconds)
+//	go run ./cmd/experiments -quick -j 4     # same tables, 4 workers
+//	go run ./cmd/experiments -run 'T[12]'    # only experiments matching the regexp
+//	go run ./cmd/experiments -out FILE       # write markdown to FILE instead of stdout
+//	go run ./cmd/experiments -json FILE      # also write machine-readable results
+//	go run ./cmd/experiments -list           # list registered experiment IDs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
-	"time"
 
 	"gridroute/internal/experiments"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced sweep")
-	out := flag.String("out", "", "output file (default stdout)")
+	out := flag.String("out", "", "markdown output file (default stdout)")
+	runPat := flag.String("run", "", "regexp selecting experiment IDs or tags (default: all)")
+	workers := flag.Int("j", runtime.NumCPU(), "worker pool size (1 = serial)")
+	jsonOut := flag.String("json", "", "also write machine-readable results (e.g. BENCH_experiments.json)")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registered() {
+			fmt.Printf("%-8s %s [%s]\n", e.ID, e.Title, strings.Join(e.Tags, " "))
+		}
+		return
+	}
+
+	exps, err := experiments.Select(*runPat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(exps) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments match -run %q (have: %s)\n",
+			*runPat, strings.Join(experiments.IDs(), ", "))
+		os.Exit(2)
+	}
+
+	runner := experiments.Runner{Workers: *workers, Quick: *quick}
+	results := runner.Run(exps)
 
 	var b strings.Builder
 	mode := "full"
@@ -35,7 +67,7 @@ Buffers" (Even & Medina, SPAA 2011). Regenerate with:
 
     go run ./cmd/experiments > EXPERIMENTS.md
 
-Mode: %s sweep, generated %s.
+Mode: %s sweep.
 
 **How to read the ratios.** The paper proves competitive ratios against an
 adversary's optimal routing; exact integral OPT is NP-hard, so every ratio
@@ -50,25 +82,36 @@ the paper itself leaves astronomically loose (γ = 200, k⁴ tile factors).
 The ASCII reproductions of Figures 1–10/12 are printed by `+"`go run ./cmd/viz`"+`;
 their structural claims are enforced by unit tests (see DESIGN.md §5).
 
-`, mode, time.Now().UTC().Format("2006-01-02 15:04 UTC"))
+`, mode)
 
-	for _, r := range experiments.All(*quick) {
-		fmt.Fprintf(&b, "\n## %s — %s\n\n", r.ID, r.Title)
-		for _, t := range r.Tables {
-			b.WriteString(t.Markdown())
-			b.WriteString("\n")
-		}
-		for _, n := range r.Notes {
-			fmt.Fprintf(&b, "> %s\n", n)
-		}
+	for _, r := range results {
+		b.WriteString(r.Report.Markdown())
+		fmt.Fprintf(os.Stderr, "%-8s %v\n", r.Experiment.ID, r.Duration.Round(1e6))
 	}
 
+	// Write the markdown first: it is the primary artifact of a sweep that
+	// may have taken minutes, and must survive a failing -json path.
 	if *out == "" {
 		fmt.Print(b.String())
-		return
-	}
-	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+	} else if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteJSON(f, *quick, *workers, results); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

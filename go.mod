@@ -1,0 +1,3 @@
+module gridroute
+
+go 1.24

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gridroute/internal/baseline"
+	"gridroute/internal/core"
+	"gridroute/internal/grid"
+	"gridroute/internal/netsim"
+	"gridroute/internal/optbound"
+	"gridroute/internal/spacetime"
+	"gridroute/internal/stats"
+	"gridroute/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "E1-E3",
+		Title: "Deterministic algorithm sweeps (Thms 4, 10, 11; Prop 12)",
+		Tags:  []string{"sweep", "deterministic", "thm4", "thm10", "thm11"},
+		Run:   runDetSweep,
+	})
+}
+
+// runDetSweep measures the deterministic algorithm on lines (Thm 4), 2-d
+// grids (Thm 10) and bufferless lines (Thm 11 / Prop 12).
+func runDetSweep(cfg Config) Report {
+	t := stats.NewTable("Deterministic algorithm: certified ratios vs n (Thm 4, 10, 11)",
+		"experiment", "n", "B", "c", "ipp", "ipp'", "delivered", "upper (certificate)", "ratio")
+	var lineNs []int
+	var lineRatios []float64
+	for _, n := range cfg.Sizes() {
+		g := grid.Line(n, 3, 3)
+		reqs := workload.Uniform(g, 5*n, int64(2*n), cfg.RNG(int64(n)+1))
+		horizon := spacetime.SuggestHorizon(g, reqs, 3)
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
+		if err != nil {
+			continue
+		}
+		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
+		r := ratio(upper, res.Throughput)
+		t.AddRow("E1 Thm4 line", n, 3, 3, res.Admitted, res.ReachedLastTile, res.Throughput,
+			fmt.Sprintf("%.1f (dual)", upper), r)
+		lineNs = append(lineNs, n)
+		lineRatios = append(lineRatios, r)
+	}
+	// 2-d grids (Thm 10).
+	sides := []int{6, 8}
+	if !cfg.Quick {
+		sides = []int{6, 8, 12, 16}
+	}
+	for _, s := range sides {
+		g := grid.New([]int{s, s}, 3, 3)
+		reqs := workload.Uniform(g, 6*s*s, int64(3*s), cfg.RNG(int64(s)+2))
+		horizon := spacetime.SuggestHorizon(g, reqs, 3)
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
+		if err != nil {
+			continue
+		}
+		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
+		t.AddRow("E2 Thm10 2-d", s*s, 3, 3, res.Admitted, res.ReachedLastTile, res.Throughput,
+			fmt.Sprintf("%.1f (dual)", upper), ratio(upper, res.Throughput))
+	}
+	// Bufferless lines (Thm 11) against the exact OPT (Prop 12 machinery).
+	for _, n := range cfg.Sizes() {
+		g := grid.Line(n, 0, 3)
+		reqs := workload.Uniform(g, 4*n, int64(2*n), cfg.RNG(int64(n)+3))
+		horizon := spacetime.SuggestHorizon(g, reqs, 3)
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
+		if err != nil {
+			continue
+		}
+		opt := optbound.ExactBufferlessLine(g, reqs)
+		ntg := baseline.Run(g, reqs, baseline.NearestToGo{}, netsim.Model1, horizon)
+		t.AddRow("E3 Thm11 B=0", n, 0, 3, res.Admitted, res.ReachedLastTile, res.Throughput,
+			fmt.Sprintf("%d (exact)", opt), ratio(float64(opt), res.Throughput))
+		t.AddRow("E3 NTG B=0 (Prop12)", n, 0, 3, "-", "-", ntg.Throughput(),
+			fmt.Sprintf("%d (exact)", opt), ratio(float64(opt), ntg.Throughput()))
+	}
+	exp := stats.GrowthExponent(lineNs, lineRatios)
+	return Report{
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			fmt.Sprintf("Fitted line-ratio growth exponent b = %.2f (polylog curves fit b ≈ 0; the Ω(√n) greedy curve of T1 fits b ≥ 0.5).", exp),
+			"Dual-certificate ratios overestimate the true competitive ratio by up to 2× (Thm 1's primal/dual gap) plus the fractional/integral gap.",
+		},
+	}
+}

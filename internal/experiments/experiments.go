@@ -3,6 +3,12 @@
 // It is the engine behind cmd/experiments (which writes EXPERIMENTS.md) and
 // bench_test.go (one benchmark per experiment id).
 //
+// Each experiment registers itself (see registry.go) as an Experiment with a
+// stable ID; the Runner (runner.go) executes any selected subset over a
+// bounded pool of goroutines. Every experiment draws all of its randomness
+// from the Config it receives, whose seed is derived from the experiment ID
+// alone, so a parallel run is byte-identical to a serial one.
+//
 // Competitive ratios are reported as certified_upper_bound / throughput,
 // where the upper bound comes from optbound.DualUpperBound (weak duality)
 // or from instances with OPT known by construction; the certificate used is
@@ -11,25 +17,60 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"strings"
 
-	"gridroute/internal/baseline"
-	"gridroute/internal/core"
-	"gridroute/internal/grid"
-	"gridroute/internal/netsim"
-	"gridroute/internal/optbound"
-	"gridroute/internal/spacetime"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
-// Report is the outcome of one experiment.
+// Report is the outcome of one experiment. Run functions fill Tables and
+// Notes; the Runner stamps ID and Title from the registry entry, which is
+// their single source of truth.
 type Report struct {
 	ID     string
 	Title  string
 	Tables []*stats.Table
 	Notes  []string
 }
+
+// Markdown renders the report section exactly as it appears in
+// EXPERIMENTS.md. The output depends only on the report contents, never on
+// wall-clock time or execution order, so it doubles as the determinism
+// witness for parallel runs.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n## %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	return b.String()
+}
+
+// Config carries everything an experiment is allowed to depend on: the
+// sweep mode and the RNG seed. Experiments must derive all randomness via
+// RNG so that results are a pure function of (ID, Config).
+type Config struct {
+	// Quick selects the reduced sweep (seconds instead of minutes).
+	Quick bool
+	// Seed is the base RNG seed; the Runner derives it from the experiment
+	// ID via SeedFor, making results independent of scheduling order.
+	Seed int64
+}
+
+// RNG returns a fresh deterministic generator for the given stream. Distinct
+// streams within one experiment decorrelate its sub-sweeps, mirroring the
+// fixed per-sweep seeds the serial harness used.
+func (c Config) RNG(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1000003 + stream))
+}
+
+// Sizes returns the n-sweep for the configured mode.
+func (c Config) Sizes() []int { return Sizes(c.Quick) }
 
 // Sizes returns the n-sweep for a given mode.
 func Sizes(quick bool) []int {
@@ -39,117 +80,15 @@ func Sizes(quick bool) []int {
 	return []int{32, 64, 128, 256}
 }
 
+// ratio is the certified competitive ratio upper/tp. Zero throughput means
+// the algorithm delivered nothing against a positive certificate: the ratio
+// is unbounded and reported as +Inf (rendered "∞" by stats.Table), never as
+// the perfect-looking 0 the old harness printed.
 func ratio(upper float64, tp int) float64 {
 	if tp == 0 {
-		return 0
+		return math.Inf(1)
 	}
 	return upper / float64(tp)
-}
-
-// --- T1: Table 1 — prior online algorithms ---------------------------------
-
-// Table1 runs each algorithm in its canonical Table 1 setting on the
-// convoy construction (the executable form of the [AKOR03] Ω(√n) greedy
-// phenomenon): greedy and nearest-to-go at B = 3, c = 1 (unit links, as in
-// Table 1), the paper's deterministic algorithm at B = c = 3.
-func Table1(quick bool) Report {
-	t := stats.NewTable("Table 1 (reproduced): measured competitive ratios on the convoy instance",
-		"n", "alg", "B", "c", "delivered", "OPT certificate", "ratio")
-	var ns []int
-	ratios := map[string][]float64{}
-	add := func(n int, name string, b, c, tp, optLB int) {
-		r := ratio(float64(optLB), tp)
-		t.AddRow(n, name, b, c, tp, fmt.Sprintf("constructed ≥ %d", optLB), r)
-		ratios[name] = append(ratios[name], r)
-	}
-	for _, n := range Sizes(quick) {
-		ns = append(ns, n)
-		rounds := 2 * n
-		// Unit links (Table 1's setting): the convoy saturates every link.
-		g1 := grid.Line(n, 3, 1)
-		reqs1 := workload.ConvoyRate(n, rounds, 1, 1)
-		opt1 := workload.ConvoyOPTLowerBound(n, rounds, 1)
-		horizon := spacetime.SuggestHorizon(g1, reqs1, 3)
-		gr := baseline.Run(g1, reqs1, baseline.Greedy{}, netsim.Model1, horizon)
-		ntg := baseline.Run(g1, reqs1, baseline.NearestToGo{}, netsim.Model1, horizon)
-		add(n, "greedy", 3, 1, gr.Throughput(), opt1)
-		add(n, "nearest-to-go", 3, 1, ntg.Throughput(), opt1)
-		// The deterministic algorithm needs c ≥ 3; same convoy shape.
-		g3 := grid.Line(n, 3, 3)
-		reqs3 := workload.ConvoyRate(n, rounds, 3, 1)
-		opt3 := workload.ConvoyOPTLowerBound(n, rounds, 1)
-		det, err := core.RunDeterministic(g3, reqs3, core.DetConfig{})
-		if err == nil {
-			add(n, "even-medina-det", 3, 3, det.Throughput, opt3)
-		}
-	}
-	g := stats.NewTable("Growth exponents (ratio ~ n^b)",
-		"alg", "fitted exponent b", "Table 1 expectation")
-	g.AddRow("greedy", stats.GrowthExponent(ns, ratios["greedy"]), "≥ 0.5 (Ω(√n) lower bound; FIFO greedy is even worse)")
-	g.AddRow("nearest-to-go", stats.GrowthExponent(ns, ratios["nearest-to-go"]), "Õ(√n) upper bound")
-	g.AddRow("even-medina-det", stats.GrowthExponent(ns, ratios["even-medina-det"]), "polylog (asymptotic; constants dominate at these n)")
-	return Report{
-		ID:     "T1",
-		Title:  "Table 1 — prior online algorithms on adversarial traffic",
-		Tables: []*stats.Table{t, g},
-		Notes: []string{
-			"The convoy keeps FIFO greedy busy with doomed long-haul packets; OPT (by construction) serves the short hops.",
-			"At laptop-scale n the deterministic algorithm's k^4·(B+c) polylog factor exceeds √n, so its measured ratio is larger than greedy's even though its growth is asymptotically flat — the honest crossover lies beyond n ≈ 10^6 (see DESIGN.md §5 E1).",
-		},
-	}
-}
-
-// --- T2: Table 2 — randomized parameter regimes -----------------------------
-
-// Table2 sweeps the three (B, c) regimes of Table 2 and reports randomized
-// throughput against the dual upper bound.
-func Table2(quick bool) Report {
-	t := stats.NewTable("Table 2 (reproduced): randomized algorithm across (B,c) regimes",
-		"n", "B", "c", "regime", "delivered", "upper", "ratio", "ratio/log2(n)")
-	seeds := int64(3)
-	if quick {
-		seeds = 2
-	}
-	for _, n := range Sizes(quick) {
-		l := log2int(n)
-		cases := []struct{ b, c int }{
-			{1, 1},         // B, c ∈ [1, log n] (unit buffers!)
-			{l * l * 2, 1}, // B/c ≥ log n (large buffers)
-			{1, l * 4},     // B ≤ log n ≤ c (large capacities)
-		}
-		for _, cs := range cases {
-			g := grid.Line(n, cs.b, cs.c)
-			reqs := workload.Uniform(g, 6*n, int64(2*n), rand.New(rand.NewSource(int64(n))))
-			// Fixed window: SuggestHorizon scales with B/c and would explode
-			// for the large-buffer case; algorithm and certificate share the
-			// same horizon, so the comparison stays honest.
-			horizon := int64(8 * n)
-			upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-			best := 0
-			var regime core.Regime
-			for s := int64(0); s < seeds; s++ {
-				res, err := core.RunRandomized(g, reqs, core.RandConfig{Horizon: horizon, Gamma: 0.5}, rand.New(rand.NewSource(s)))
-				if err != nil {
-					continue
-				}
-				regime = res.Regime
-				if res.Throughput > best {
-					best = res.Throughput
-				}
-			}
-			r := ratio(upper, best)
-			t.AddRow(n, cs.b, cs.c, regime.String(), best, upper, r, r/float64(log2int(n)))
-		}
-	}
-	return Report{
-		ID:     "T2",
-		Title:  "Table 2 — (B,c) regimes of the randomized algorithm",
-		Tables: []*stats.Table{t},
-		Notes: []string{
-			"γ = 0.5 (engineering mode; the paper's proof constant γ = 200 needs astronomically many requests — see E13).",
-			"The last column normalizes the ratio by log2(n); a flat column is consistent with the O(log n) guarantee (Thms 29–31).",
-		},
-	}
 }
 
 func log2int(n int) int {
@@ -161,309 +100,4 @@ func log2int(n int) int {
 		l = 1
 	}
 	return l
-}
-
-// --- E1/E2/E3: deterministic sweeps ----------------------------------------
-
-// DetSweep measures the deterministic algorithm on lines (Thm 4), 2-d grids
-// (Thm 10) and bufferless lines (Thm 11 / Prop 12).
-func DetSweep(quick bool) Report {
-	t := stats.NewTable("Deterministic algorithm: certified ratios vs n (Thm 4, 10, 11)",
-		"experiment", "n", "B", "c", "ipp", "ipp'", "delivered", "upper (certificate)", "ratio")
-	var lineNs []int
-	var lineRatios []float64
-	for _, n := range Sizes(quick) {
-		g := grid.Line(n, 3, 3)
-		reqs := workload.Uniform(g, 5*n, int64(2*n), rand.New(rand.NewSource(int64(n)+1)))
-		horizon := spacetime.SuggestHorizon(g, reqs, 3)
-		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
-		if err != nil {
-			continue
-		}
-		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-		r := ratio(upper, res.Throughput)
-		t.AddRow("E1 Thm4 line", n, 3, 3, res.Admitted, res.ReachedLastTile, res.Throughput,
-			fmt.Sprintf("%.1f (dual)", upper), r)
-		lineNs = append(lineNs, n)
-		lineRatios = append(lineRatios, r)
-	}
-	// 2-d grids (Thm 10).
-	sides := []int{6, 8}
-	if !quick {
-		sides = []int{6, 8, 12, 16}
-	}
-	for _, s := range sides {
-		g := grid.New([]int{s, s}, 3, 3)
-		reqs := workload.Uniform(g, 6*s*s, int64(3*s), rand.New(rand.NewSource(int64(s)+2)))
-		horizon := spacetime.SuggestHorizon(g, reqs, 3)
-		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
-		if err != nil {
-			continue
-		}
-		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-		t.AddRow("E2 Thm10 2-d", s*s, 3, 3, res.Admitted, res.ReachedLastTile, res.Throughput,
-			fmt.Sprintf("%.1f (dual)", upper), ratio(upper, res.Throughput))
-	}
-	// Bufferless lines (Thm 11) against the exact OPT (Prop 12 machinery).
-	for _, n := range Sizes(quick) {
-		g := grid.Line(n, 0, 3)
-		reqs := workload.Uniform(g, 4*n, int64(2*n), rand.New(rand.NewSource(int64(n)+3)))
-		horizon := spacetime.SuggestHorizon(g, reqs, 3)
-		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
-		if err != nil {
-			continue
-		}
-		opt := optbound.ExactBufferlessLine(g, reqs)
-		ntg := baseline.Run(g, reqs, baseline.NearestToGo{}, netsim.Model1, horizon)
-		t.AddRow("E3 Thm11 B=0", n, 0, 3, res.Admitted, res.ReachedLastTile, res.Throughput,
-			fmt.Sprintf("%d (exact)", opt), ratio(float64(opt), res.Throughput))
-		t.AddRow("E3 NTG B=0 (Prop12)", n, 0, 3, "-", "-", ntg.Throughput(),
-			fmt.Sprintf("%d (exact)", opt), ratio(float64(opt), ntg.Throughput()))
-	}
-	exp := stats.GrowthExponent(lineNs, lineRatios)
-	return Report{
-		ID:     "E1-E3",
-		Title:  "Deterministic algorithm sweeps (Thms 4, 10, 11; Prop 12)",
-		Tables: []*stats.Table{t},
-		Notes: []string{
-			fmt.Sprintf("Fitted line-ratio growth exponent b = %.2f (polylog curves fit b ≈ 0; the Ω(√n) greedy curve of T1 fits b ≥ 0.5).", exp),
-			"Dual-certificate ratios overestimate the true competitive ratio by up to 2× (Thm 1's primal/dual gap) plus the fractional/integral gap.",
-		},
-	}
-}
-
-// --- E4: Theorem 13 ----------------------------------------------------------
-
-// Thm13 measures the large-capacity algorithm.
-func Thm13(quick bool) Report {
-	t := stats.NewTable("Thm 13: large B, c — scaled ipp over the space-time graph",
-		"n", "B=c", "k", "delivered", "upper", "ratio", "ratio/log2(n)")
-	for _, n := range Sizes(quick) {
-		g := grid.Line(n, 64, 64)
-		reqs := workload.Saturating(g, 6, 3, rand.New(rand.NewSource(int64(n)+4)))
-		horizon := spacetime.SuggestHorizon(g, reqs, 2)
-		res, err := core.RunLargeCapacity(g, reqs, core.DetConfig{Horizon: horizon})
-		if err != nil {
-			t.AddRow(n, 64, "-", "-", "-", fmt.Sprint(err), "-")
-			continue
-		}
-		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-		r := ratio(upper, res.Throughput)
-		t.AddRow(n, 64, res.K, res.Throughput, upper, r, r/float64(log2int(n)))
-	}
-	return Report{
-		ID:     "E4",
-		Title:  "Theorem 13 — large buffers and link capacities",
-		Tables: []*stats.Table{t},
-		Notes:  []string{"Non-preemptive: every admitted packet is delivered; replayed schedules satisfy the unscaled capacities because the Thm 1 load bound k cancels the 1/k capacity scaling."},
-	}
-}
-
-// --- E5: randomized pipeline decomposition ----------------------------------
-
-// RandDecomposition reports the Sec. 7.4.3 chain on one instance.
-func RandDecomposition(quick bool) Report {
-	t := stats.NewTable("Thm 29 pipeline: |Far+| ≥ |ipp| ≥ |ipp^λ| ≥ |ipp^λ_¼| ≥ |alg| (Sec. 7.4.3)",
-		"n", "γ", "Far+", "ipp", "coin-survived", "load-survived", "injected=delivered", "TX-failed")
-	n := 128
-	if quick {
-		n = 64
-	}
-	g := grid.Line(n, 1, 1)
-	reqs := workload.Uniform(g, 10*n, int64(4*n), rand.New(rand.NewSource(99)))
-	for _, gamma := range []float64{0.25, 1, 8} {
-		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: gamma, Branch: 1}, rand.New(rand.NewSource(5)))
-		if err != nil {
-			continue
-		}
-		t.AddRow(n, gamma, res.FarPlusTotal, res.IPPAccepted, res.CoinSurvived, res.LoadSurvived, res.Throughput, res.TXFailed)
-	}
-	return Report{
-		ID:     "E5",
-		Title:  "Thm 29 — randomized pipeline decomposition",
-		Tables: []*stats.Table{t},
-		Notes: []string{
-			"Theorem 22 predicts E|alg| ≥ λ/4·|ipp|: the injected column tracks the coin-survived column within the I-routing loss.",
-		},
-	}
-}
-
-// --- E8: Theorem 1 guarantees ------------------------------------------------
-
-// Thm1 measures the ipp guarantees on the deterministic sketch graphs.
-func Thm1(quick bool) Report {
-	t := stats.NewTable("Thm 1: ipp primal/dual gap ≤ 2 and edge load ≤ log2(1+3·pmax)",
-		"n", "max load", "load bound", "primal", "2×accepted", "gap OK")
-	for _, n := range Sizes(quick) {
-		g := grid.Line(n, 3, 3)
-		reqs := workload.Saturating(g, 6, 2, rand.New(rand.NewSource(int64(n)+7)))
-		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
-		if err != nil {
-			continue
-		}
-		ok := res.PrimalValue <= 2*float64(res.Admitted)+1e-9 && res.MaxLoad <= res.LoadBound+1e-9
-		t.AddRow(n, res.MaxLoad, res.LoadBound, res.PrimalValue, 2*res.Admitted, ok)
-	}
-	return Report{ID: "E8", Title: "Theorem 1 — online integral path packing guarantees", Tables: []*stats.Table{t}}
-}
-
-// --- E9: Lemma 2 path-length sweep -------------------------------------------
-
-// Lemma2 sweeps pmax and shows throughput saturates at a constant fraction.
-func Lemma2(quick bool) Report {
-	n := 64
-	g := grid.Line(n, 3, 3)
-	reqs := workload.Uniform(g, 6*n, int64(2*n), rand.New(rand.NewSource(12)))
-	horizon := spacetime.SuggestHorizon(g, reqs, 3)
-	t := stats.NewTable("Lemma 2: restricting path lengths costs at most a constant factor",
-		"pmax", "tile side k", "delivered")
-	paper := core.PMaxDet(g)
-	for _, pm := range []int{n / 2, n, 2 * n, 8 * n, paper} {
-		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon, PMax: pm})
-		if err != nil {
-			continue
-		}
-		t.AddRow(pm, res.K, res.Throughput)
-	}
-	return Report{
-		ID: "E9", Title: "Lemma 2 — bounded path lengths",
-		Tables: []*stats.Table{t},
-		Notes:  []string{fmt.Sprintf("The paper's pmax for this instance is %d; throughput saturates well before it, as Lemma 2 predicts.", paper)},
-	}
-}
-
-// --- E10: Props 8 and 9 --------------------------------------------------------
-
-// Prop89 reports the detailed-routing loss fractions.
-func Prop89(quick bool) Report {
-	t := stats.NewTable("Props 8, 9: detailed-routing survival fractions (theory: each ≥ 1/(2k))",
-		"n", "k", "ipp", "ipp'", "alg", "ipp'/ipp", "alg/ipp'", "1/(2k)")
-	for _, n := range Sizes(quick) {
-		g := grid.Line(n, 3, 3)
-		reqs := workload.Saturating(g, 8, 2, rand.New(rand.NewSource(int64(n)+13)))
-		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
-		if err != nil || res.Admitted == 0 {
-			continue
-		}
-		f1 := float64(res.ReachedLastTile) / float64(res.Admitted)
-		f2 := 0.0
-		if res.ReachedLastTile > 0 {
-			f2 = float64(res.Throughput) / float64(res.ReachedLastTile)
-		}
-		t.AddRow(n, res.K, res.Admitted, res.ReachedLastTile, res.Throughput, f1, f2, 1/(2*float64(res.K)))
-	}
-	return Report{ID: "E10", Title: "Props 8/9 — loss decomposition of detailed routing", Tables: []*stats.Table{t}}
-}
-
-// --- E11: lower bounds ---------------------------------------------------------
-
-// LowerBounds runs the Table 1 lower-bound constructions.
-func LowerBounds(quick bool) Report {
-	t := stats.NewTable("Lower-bound constructions",
-		"construction", "n", "alg", "delivered", "OPT (constructed)", "ratio")
-	var ns []int
-	var rs []float64
-	for _, n := range Sizes(quick) {
-		g := grid.Line(n, 3, 1)
-		reqs := workload.ConvoyRate(n, 2*n, 1, 1)
-		optLB := workload.ConvoyOPTLowerBound(n, 2*n, 1)
-		horizon := spacetime.SuggestHorizon(g, reqs, 3)
-		gr := baseline.Run(g, reqs, baseline.Greedy{}, netsim.Model1, horizon)
-		r := ratio(float64(optLB), gr.Throughput())
-		t.AddRow("convoy [AKOR03]", n, "greedy", gr.Throughput(), optLB, r)
-		ns = append(ns, n)
-		rs = append(rs, r)
-	}
-	// Model 2, B = 1: stream + collision injections (the [AZ05, AKK09] Ω(n)
-	// phenomenon for FIFO-style deterministic policies).
-	for _, n := range Sizes(quick) {
-		g := grid.Line(n, 1, 1)
-		var reqs []grid.Request
-		reqs = append(reqs, grid.Request{Src: grid.Vec{0}, Dst: grid.Vec{n - 1}, Arrival: 0, Deadline: grid.InfDeadline})
-		for v := 1; v < n-1; v++ {
-			reqs = append(reqs, grid.Request{Src: grid.Vec{v}, Dst: grid.Vec{v + 1}, Arrival: int64(v), Deadline: grid.InfDeadline})
-		}
-		res := baseline.Run(g, reqs, baseline.Greedy{}, netsim.Model2, int64(4*n))
-		optLB := n - 2 // all shorts are mutually disjoint
-		t.AddRow("B=1 collision chain (Model 2)", n, "greedy", res.Throughput(), optLB, ratio(float64(optLB), res.Throughput()))
-	}
-	return Report{
-		ID:     "E11",
-		Title:  "Lower bounds — greedy Ω(√n) and Model-2 B=1 Ω(n) phenomena",
-		Tables: []*stats.Table{t},
-		Notes: []string{
-			fmt.Sprintf("Greedy convoy ratio growth exponent: %.2f (Table 1 row 'greedy' predicts ≥ 0.5).", stats.GrowthExponent(ns, rs)),
-			"The Model-2 chain shows a FIFO policy forced to drop every short hop: ratio grows linearly in n, matching the Ω(n) bound for B = 1 in Model 2 (Appendix F remark 3).",
-		},
-	}
-}
-
-// --- E13: ablations -------------------------------------------------------------
-
-// Ablations varies the design knobs the paper calls out.
-func Ablations(quick bool) Report {
-	n := 96
-	if quick {
-		n = 64
-	}
-	g := grid.Line(n, 1, 1)
-	reqs := workload.Uniform(g, 8*n, int64(3*n), rand.New(rand.NewSource(21)))
-	horizon := spacetime.SuggestHorizon(g, reqs, 3)
-	upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-
-	t := stats.NewTable("E13a: sparsification constant γ (λ = 1/(γk)) and load cap",
-		"γ", "load cap", "delivered", "ratio vs dual upper")
-	for _, gamma := range []float64{0.25, 1, 8, 200} {
-		for _, lc := range []float64{0.25, 0.9} {
-			res, err := core.RunRandomized(g, reqs,
-				core.RandConfig{Horizon: horizon, Gamma: gamma, LoadCap: lc, Branch: 1},
-				rand.New(rand.NewSource(3)))
-			if err != nil {
-				continue
-			}
-			t.AddRow(gamma, lc, res.Throughput, ratio(upper, res.Throughput))
-		}
-	}
-	// Tile side ablation for the deterministic algorithm (Sec. 3.3 footnote:
-	// rectangular vs square tiles trade a log factor).
-	g2 := grid.Line(n, 3, 3)
-	reqs2 := workload.Uniform(g2, 6*n, int64(2*n), rand.New(rand.NewSource(22)))
-	upper2, _ := optbound.DualUpperBound(g2, reqs2, spacetime.SuggestHorizon(g2, reqs2, 3))
-	k0 := core.TileSideDet(core.PMaxDet(g2))
-	t2 := stats.NewTable("E13b: deterministic tile side k (paper: ⌈log2(1+3·pmax)⌉)",
-		"k", "delivered", "ratio vs dual upper")
-	for _, k := range []int{k0 / 2, k0, 2 * k0} {
-		if k < 2 {
-			continue
-		}
-		res, err := core.RunDeterministic(g2, reqs2, core.DetConfig{TileSide: k})
-		if err != nil {
-			continue
-		}
-		t2.AddRow(k, res.Throughput, ratio(upper2, res.Throughput))
-	}
-	return Report{
-		ID:     "E13",
-		Title:  "Ablations — γ, load cap, tile side",
-		Tables: []*stats.Table{t, t2},
-		Notes: []string{
-			"γ = 200 (the proof constant) rejects nearly everything at this scale: the O(log n) guarantee is asymptotic; engineering γ keeps the shape with usable constants.",
-		},
-	}
-}
-
-// All runs every experiment.
-func All(quick bool) []Report {
-	return []Report{
-		Table1(quick),
-		Table2(quick),
-		DetSweep(quick),
-		Thm13(quick),
-		RandDecomposition(quick),
-		Thm1(quick),
-		Lemma2(quick),
-		Prop89(quick),
-		LowerBounds(quick),
-		Ablations(quick),
-	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -11,14 +12,21 @@ func TestAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	reports := All(true)
+	results := Runner{Workers: 1, Quick: true}.RunAll()
 	wantIDs := []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13"}
-	if len(reports) != len(wantIDs) {
-		t.Fatalf("got %d reports, want %d", len(reports), len(wantIDs))
+	if len(results) != len(wantIDs) {
+		t.Fatalf("got %d reports, want %d", len(results), len(wantIDs))
 	}
-	for i, r := range reports {
+	for i, res := range results {
+		r := res.Report
 		if r.ID != wantIDs[i] {
 			t.Errorf("report %d: id %q, want %q", i, r.ID, wantIDs[i])
+		}
+		if r.ID != res.Experiment.ID {
+			t.Errorf("report id %q does not match experiment id %q", r.ID, res.Experiment.ID)
+		}
+		if res.Duration <= 0 {
+			t.Errorf("report %s: no wall-clock timing recorded", r.ID)
 		}
 		if len(r.Tables) == 0 {
 			t.Errorf("report %s has no tables", r.ID)
@@ -38,5 +46,32 @@ func TestAllQuick(t *testing.T) {
 func TestSizes(t *testing.T) {
 	if len(Sizes(true)) >= len(Sizes(false)) {
 		t.Fatal("quick mode must be smaller")
+	}
+	cfg := Config{Quick: true}
+	if len(cfg.Sizes()) != len(Sizes(true)) {
+		t.Fatal("Config.Sizes must match Sizes")
+	}
+}
+
+// Zero throughput is an unbounded ratio, not a perfect one.
+func TestRatioZeroThroughputIsInf(t *testing.T) {
+	if r := ratio(42, 0); !math.IsInf(r, 1) {
+		t.Fatalf("ratio(42, 0) = %v, want +Inf", r)
+	}
+	if r := ratio(10, 5); r != 2 {
+		t.Fatalf("ratio(10, 5) = %v, want 2", r)
+	}
+}
+
+func TestConfigRNGDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7}
+	a, b := cfg.RNG(3), cfg.RNG(3)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, stream) must yield the same sequence")
+		}
+	}
+	if cfg.RNG(1).Int63() == cfg.RNG(2).Int63() {
+		t.Fatal("distinct streams should decorrelate (first draw collided)")
 	}
 }

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"gridroute/internal/stats"
+)
+
+// benchEntry is the machine-readable record of one executed experiment in
+// BENCH_experiments.json. Durations are reported in milliseconds; table
+// cells are the already-formatted strings of the markdown output (so ∞ and
+// n/a survive JSON, which cannot encode IEEE infinities).
+type benchEntry struct {
+	ID         string         `json:"id"`
+	Title      string         `json:"title"`
+	Tags       []string       `json:"tags,omitempty"`
+	DurationMS float64        `json:"duration_ms"`
+	Tables     []*stats.Table `json:"tables"`
+	Notes      []string       `json:"notes,omitempty"`
+}
+
+// benchFile is the top-level BENCH_experiments.json document.
+type benchFile struct {
+	Mode        string       `json:"mode"`
+	Workers     int          `json:"workers"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+// WriteJSON emits the machine-readable results file for a finished run.
+func WriteJSON(w io.Writer, quick bool, workers int, results []Result) error {
+	mode := "full"
+	if quick {
+		mode = "quick"
+	}
+	doc := benchFile{Mode: mode, Workers: workers}
+	for _, res := range results {
+		doc.Experiments = append(doc.Experiments, benchEntry{
+			ID:         res.Experiment.ID,
+			Title:      res.Report.Title,
+			Tags:       res.Experiment.Tags,
+			DurationMS: float64(res.Duration.Microseconds()) / 1000,
+			Tables:     res.Report.Tables,
+			Notes:      res.Report.Notes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

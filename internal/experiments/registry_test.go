@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// All ten seed experiments must be registered, in canonical report order.
+func TestRegistryCompleteness(t *testing.T) {
+	want := []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13"}
+	if got := IDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry IDs = %v, want %v", got, want)
+	}
+	for _, e := range Registered() {
+		if e.Title == "" {
+			t.Errorf("%s: empty title", e.ID)
+		}
+		if len(e.Tags) == 0 {
+			t.Errorf("%s: no tags", e.ID)
+		}
+		if e.Run == nil {
+			t.Errorf("%s: nil Run", e.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, ok := Lookup("T1")
+	if !ok || e.ID != "T1" {
+		t.Fatalf("Lookup(T1) = %+v, %v", e, ok)
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown ID must fail")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	for _, tc := range []struct {
+		pattern string
+		want    []string
+	}{
+		{"", []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13"}},
+		{"^T", []string{"T1", "T2"}},
+		{"^E1-E3$", []string{"E1-E3"}},
+		{"^E1", []string{"E1-E3", "E10", "E11", "E13"}},
+		{"ablation", []string{"E13"}}, // tag match
+		{"randomized", []string{"T2", "E5", "E13"}},
+		{"zzz-no-such", nil},
+	} {
+		exps, err := Select(tc.pattern)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", tc.pattern, err)
+		}
+		var got []string
+		for _, e := range exps {
+			got = append(got, e.ID)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Select(%q) = %v, want %v", tc.pattern, got, tc.want)
+		}
+	}
+	if _, err := Select("("); err == nil {
+		t.Fatal("invalid regexp must error")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register must panic")
+		}
+	}()
+	Register(Experiment{ID: "T1", Run: func(Config) Report { return Report{} }})
+}
+
+func TestSeedForStableAndDistinct(t *testing.T) {
+	if SeedFor("T1") != SeedFor("T1") {
+		t.Fatal("SeedFor must be deterministic")
+	}
+	seen := map[int64]string{}
+	for _, id := range IDs() {
+		s := SeedFor(id)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %s and %s", prev, id)
+		}
+		seen[s] = id
+	}
+}
+
+func TestTags(t *testing.T) {
+	tags := Tags()
+	if len(tags) == 0 {
+		t.Fatal("no tags registered")
+	}
+	for i := 1; i < len(tags); i++ {
+		if tags[i-1] >= tags[i] {
+			t.Fatalf("tags not sorted/unique: %v", tags)
+		}
+	}
+}

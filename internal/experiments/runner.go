@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Result is one executed experiment: its report plus the wall-clock time
+// the Run call took on this machine.
+type Result struct {
+	Experiment Experiment
+	Report     Report
+	Duration   time.Duration
+}
+
+// Runner executes a set of experiments over a bounded pool of goroutines.
+// Results come back in input order regardless of which worker finished
+// first, and every experiment is seeded from its ID alone (SeedFor), so the
+// rendered tables are byte-identical for any Workers value.
+type Runner struct {
+	// Workers bounds the goroutine pool; values < 1 mean GOMAXPROCS.
+	Workers int
+	// Quick selects the reduced sweep.
+	Quick bool
+}
+
+// SeedFor derives the deterministic base seed for an experiment ID
+// (FNV-1a over the ID bytes). Scheduling order never enters the seed.
+func SeedFor(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64())
+}
+
+// Run executes the experiments and returns one Result per input, in input
+// order.
+func (r Runner) Run(exps []Experiment) []Result {
+	workers := r.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	results := make([]Result, len(exps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := exps[i]
+				cfg := Config{Quick: r.Quick, Seed: SeedFor(e.ID)}
+				start := time.Now()
+				rep := e.Run(cfg)
+				// The registry entry is the single source of truth for ID and
+				// Title; Run functions only produce tables and notes.
+				rep.ID, rep.Title = e.ID, e.Title
+				results[i] = Result{Experiment: e, Report: rep, Duration: time.Since(start)}
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// RunAll executes every registered experiment.
+func (r Runner) RunAll() []Result {
+	return r.Run(Registered())
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func renderAll(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r.Report.Markdown())
+	}
+	return b.String()
+}
+
+// A parallel run must produce byte-identical tables to a serial run: every
+// experiment is seeded from its ID, never from scheduling order.
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial := Runner{Workers: 1, Quick: true}.RunAll()
+	parallel := Runner{Workers: 4, Quick: true}.RunAll()
+	sMD, pMD := renderAll(serial), renderAll(parallel)
+	if sMD != pMD {
+		t.Fatalf("parallel (-j 4) markdown differs from serial (-j 1):\nserial:\n%.2000s\nparallel:\n%.2000s", sMD, pMD)
+	}
+	if !strings.Contains(sMD, "## T1") || !strings.Contains(sMD, "## E13") {
+		t.Fatal("rendered suite is missing expected sections")
+	}
+}
+
+func TestRunnerPreservesInputOrder(t *testing.T) {
+	var exps []Experiment
+	for _, id := range []string{"E13", "T1", "E4"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		// Stub the heavy Run: order preservation is a scheduling property.
+		e.Run = func(id string) func(Config) Report {
+			return func(Config) Report { return Report{ID: id} }
+		}(id)
+		exps = append(exps, e)
+	}
+	results := Runner{Workers: 3, Quick: true}.Run(exps)
+	for i, want := range []string{"E13", "T1", "E4"} {
+		if results[i].Experiment.ID != want || results[i].Report.ID != want {
+			t.Fatalf("result %d = %s (report %s), want %s", i, results[i].Experiment.ID, results[i].Report.ID, want)
+		}
+	}
+}
+
+func TestRunnerWorkerClamping(t *testing.T) {
+	e, _ := Lookup("E9")
+	e.Run = func(Config) Report { return Report{Notes: []string{"stub"}} }
+	for _, workers := range []int{-1, 0, 1, 100} {
+		results := Runner{Workers: workers, Quick: true}.Run([]Experiment{e})
+		if len(results) != 1 || len(results[0].Report.Notes) != 1 {
+			t.Fatalf("Workers=%d: bad results %+v", workers, results)
+		}
+		// The runner stamps ID/Title from the registry entry.
+		if results[0].Report.ID != "E9" || results[0].Report.Title != e.Title {
+			t.Fatalf("Workers=%d: report not stamped: %+v", workers, results[0].Report)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	e := Experiment{ID: "X1", Title: "stub", Tags: []string{"stub"}}
+	res := Result{
+		Experiment: e,
+		Report: Report{
+			ID:    "X1",
+			Title: "stub",
+			Notes: []string{"note"},
+		},
+		Duration: 1500 * 1000, // 1.5ms in ns
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, true, 4, []Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Mode        string `json:"mode"`
+		Workers     int    `json:"workers"`
+		Experiments []struct {
+			ID         string   `json:"id"`
+			DurationMS float64  `json:"duration_ms"`
+			Notes      []string `json:"notes"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Mode != "quick" || doc.Workers != 4 {
+		t.Fatalf("header wrong: %+v", doc)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "X1" {
+		t.Fatalf("experiments wrong: %+v", doc.Experiments)
+	}
+	if doc.Experiments[0].DurationMS != 1.5 {
+		t.Fatalf("duration_ms = %v, want 1.5", doc.Experiments[0].DurationMS)
+	}
+}
+
+// The JSON file for a real run must round-trip and carry result rows.
+func TestWriteJSONQuickSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	exps, err := Select("^T1$")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Runner{Workers: 2, Quick: true}.Run(exps)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, true, 2, results); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"rows"`) {
+		t.Fatal("JSON results missing table rows")
+	}
+}

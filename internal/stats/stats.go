@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -69,7 +70,7 @@ func GrowthExponent(ns []int, ys []float64) float64 {
 	var sx, sy, sxx, sxy float64
 	m := 0
 	for i := range ns {
-		if ys[i] <= 0 {
+		if ys[i] <= 0 || math.IsInf(ys[i], 0) || math.IsNaN(ys[i]) {
 			continue
 		}
 		x := math.Log(float64(ns[i]))
@@ -132,19 +133,48 @@ func NewTable(title string, header ...string) *Table {
 }
 
 // AddRow appends a row; values are formatted with %v (floats with %.3g).
+// Non-finite floats render as "∞"/"-∞"/"n/a" — an unbounded competitive
+// ratio must never print as a perfect-looking number.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.3g", v)
+			row[i] = formatFloat(v)
 		case float32:
-			row[i] = fmt.Sprintf("%.3g", v)
+			row[i] = formatFloat(float64(v))
 		default:
 			row[i] = fmt.Sprint(c)
 		}
 	}
 	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "∞"
+	case math.IsInf(v, -1):
+		return "-∞"
+	case math.IsNaN(v):
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// MarshalJSON serializes the table for machine-readable results files
+// (BENCH_experiments.json). Cells are the formatted strings of the markdown
+// output, so values JSON cannot encode as numbers (∞, n/a) survive intact.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.Header, rows})
 }
 
 // Markdown renders the table.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -96,5 +97,58 @@ func TestTableMarkdown(t *testing.T) {
 		if !strings.Contains(md, want) {
 			t.Fatalf("markdown missing %q:\n%s", want, md)
 		}
+	}
+}
+
+// Unbounded ratios must be visible as ∞, never as a plausible number.
+func TestTableNonFiniteCells(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(math.Inf(1))
+	tb.AddRow(math.Inf(-1))
+	tb.AddRow(math.NaN())
+	tb.AddRow(float32(math.Inf(1)))
+	want := [][]string{{"∞"}, {"-∞"}, {"n/a"}, {"∞"}}
+	for i, w := range want {
+		if tb.Rows[i][0] != w[0] {
+			t.Errorf("row %d = %q, want %q", i, tb.Rows[i][0], w[0])
+		}
+	}
+}
+
+func TestTableMarshalJSON(t *testing.T) {
+	tb := NewTable("Demo", "n", "ratio")
+	tb.AddRow(32, math.Inf(1))
+	raw, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "Demo" || len(got.Header) != 2 || got.Rows[0][1] != "∞" {
+		t.Fatalf("round trip wrong: %+v", got)
+	}
+	// Empty tables must serialize rows as [], not null.
+	raw, err = json.Marshal(NewTable("empty", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"rows":[]`) {
+		t.Fatalf("empty rows should be []: %s", raw)
+	}
+}
+
+// GrowthExponent must ignore non-finite samples (∞ ratios from
+// zero-throughput runs) instead of poisoning the fit.
+func TestGrowthExponentSkipsNonFinite(t *testing.T) {
+	ns := []int{16, 32, 64, 128}
+	ys := []float64{3 * 4, math.Inf(1), 3 * 8, math.NaN()}
+	if b := GrowthExponent(ns, ys); math.Abs(b-0.5) > 1e-9 {
+		t.Fatalf("exponent = %v, want 0.5 from the finite points", b)
 	}
 }
