@@ -6,6 +6,8 @@
 package gridroute
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -449,11 +451,14 @@ func BenchmarkK(b *testing.B) {
 func BenchmarkExperimentsQuick(b *testing.B) {
 	r := experiments.Runner{Workers: 4, Quick: true}
 	for i := 0; i < b.N; i++ {
-		rs := r.RunAll()
+		rs := r.RunAll(context.Background())
 		if len(rs) < 10 {
 			b.Fatal("missing experiment reports")
 		}
 		for _, res := range rs {
+			if res.Err != nil && !errors.Is(res.Err, experiments.ErrSkipped) {
+				b.Fatalf("%s: %v", res.Experiment.ID, res.Err)
+			}
 			if len(res.Report.Tables) == 0 {
 				b.Fatalf("%s: empty report", res.Experiment.ID)
 			}
@@ -467,9 +472,13 @@ func BenchmarkExperimentsQuick(b *testing.B) {
 func BenchmarkExperiment(b *testing.B) {
 	for _, e := range experiments.Registered() {
 		b.Run(e.ID, func(b *testing.B) {
-			cfg := experiments.Config{Quick: true, Seed: experiments.SeedFor(e.ID)}
+			cfg := experiments.Config{Quick: true, ID: e.ID, Seed: experiments.SeedFor(e.ID)}
 			for i := 0; i < b.N; i++ {
-				if rep := e.Run(cfg); len(rep.Tables) == 0 {
+				rep, err := e.Run(context.Background(), cfg)
+				if err != nil && !errors.Is(err, experiments.ErrSkipped) {
+					b.Fatalf("%s: %v", e.ID, err)
+				}
+				if len(rep.Tables) == 0 {
 					b.Fatalf("%s: empty report", e.ID)
 				}
 			}

@@ -1,8 +1,12 @@
 // Command experiments regenerates EXPERIMENTS.md: every table and figure of
 // Even–Medina (SPAA 2011) in executable form, with certified OPT bounds.
 //
-// Experiments run in parallel over a bounded worker pool; each one is
-// seeded from its ID alone, so the tables are byte-identical for any -j.
+// Experiments stream in parallel over a bounded worker pool and render
+// incrementally in canonical order as they finish; each experiment (and
+// each sub-case of its n-sweep) is seeded from its ID alone, so the tables
+// are byte-identical for any -j. On SIGINT the sweep stops at the next
+// sub-case boundary and the partial markdown/JSON written so far is flushed
+// to -out/-json instead of being discarded.
 //
 // Usage:
 //
@@ -10,57 +14,166 @@
 //	go run ./cmd/experiments -quick          # small sweep (seconds)
 //	go run ./cmd/experiments -quick -j 4     # same tables, 4 workers
 //	go run ./cmd/experiments -run 'T[12]'    # only experiments matching the regexp
+//	go run ./cmd/experiments -timeout 2m     # per-experiment attempt timeout
+//	go run ./cmd/experiments -retries 1      # retry failed experiments once
 //	go run ./cmd/experiments -out FILE       # write markdown to FILE instead of stdout
 //	go run ./cmd/experiments -json FILE      # also write machine-readable results
 //	go run ./cmd/experiments -list           # list registered experiment IDs
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"gridroute/internal/experiments"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run the reduced sweep")
-	out := flag.String("out", "", "markdown output file (default stdout)")
-	runPat := flag.String("run", "", "regexp selecting experiment IDs or tags (default: all)")
-	workers := flag.Int("j", runtime.NumCPU(), "worker pool size (1 = serial)")
-	jsonOut := flag.String("json", "", "also write machine-readable results (e.g. BENCH_experiments.json)")
-	list := flag.Bool("list", false, "list registered experiments and exit")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Restore default signal handling once the first signal has cancelled
+	// the context: cancellation is cooperative at sub-case boundaries, so a
+	// second Ctrl-C must be able to kill a sweep stuck in a long sub-case.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus process-global state: it parses args, streams the
+// selected experiments, and returns the exit code (0 success, 1 experiment
+// or write failure, 2 usage error, 130 interrupted-with-partial-results).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run the reduced sweep")
+	out := fs.String("out", "", "markdown output file (default stdout)")
+	runPat := fs.String("run", "", "regexp selecting experiment IDs or tags (default: all)")
+	workers := fs.Int("j", runtime.NumCPU(), "bound on concurrent experiments and (separately) on concurrent sub-tasks across all experiments (1 = serial)")
+	jsonOut := fs.String("json", "", "also write machine-readable results (e.g. BENCH_experiments.json)")
+	list := fs.Bool("list", false, "list registered experiments and exit")
+	timeout := fs.Duration("timeout", 0, "per-experiment attempt timeout (0 = none)")
+	retries := fs.Int("retries", 0, "how many times to re-run a failed experiment")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.Registered() {
-			fmt.Printf("%-8s %s [%s]\n", e.ID, e.Title, strings.Join(e.Tags, " "))
+			fmt.Fprintf(stdout, "%-8s %s [%s]\n", e.ID, e.Title, strings.Join(e.Tags, " "))
 		}
-		return
+		return 0
 	}
 
 	exps, err := experiments.Select(*runPat)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	if len(exps) == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments match -run %q (have: %s)\n",
-			*runPat, strings.Join(experiments.IDs(), ", "))
-		os.Exit(2)
+		fmt.Fprintf(stderr, "no experiments matched -run %q (known IDs: %s; tags: %s)\n",
+			*runPat, strings.Join(experiments.IDs(), ", "), strings.Join(experiments.Tags(), ", "))
+		return 2
 	}
 
-	runner := experiments.Runner{Workers: *workers, Quick: *quick}
-	results := runner.Run(exps)
+	runner := experiments.Runner{
+		Workers: *workers,
+		Quick:   *quick,
+		Policy:  experiments.Policy{Timeout: *timeout, Retries: *retries},
+	}
 
-	var b strings.Builder
 	mode := "full"
 	if *quick {
 		mode = "quick"
 	}
-	fmt.Fprintf(&b, `# EXPERIMENTS — paper vs. measured
+	var b strings.Builder
+	writeHeader(&b, mode)
+	toStdout := *out == ""
+	if toStdout {
+		fmt.Fprint(stdout, b.String())
+	}
+
+	// Stream: each result renders (and prints) the moment it arrives; the
+	// runner's reorder buffer already delivers canonical order. The channel
+	// always drains fully — after SIGINT the unstarted experiments flush
+	// through immediately as cancelled results.
+	var results []experiments.Result
+	var incomplete, failed []string
+	for res := range runner.Stream(ctx, exps) {
+		results = append(results, res)
+		section := ""
+		switch {
+		case res.Err == nil || errors.Is(res.Err, experiments.ErrSkipped):
+			section = res.Report.Markdown()
+		case isCancellation(res.Err):
+			incomplete = append(incomplete, res.Experiment.ID)
+		default:
+			failed = append(failed, res.Experiment.ID)
+			section = fmt.Sprintf("\n## %s — %s\n\n> ⚠ failed after %d attempt(s): %v\n",
+				res.Experiment.ID, res.Experiment.Title, res.Attempts, res.Err)
+		}
+		b.WriteString(section)
+		if toStdout {
+			fmt.Fprint(stdout, section)
+		}
+		fmt.Fprintf(stderr, "%-8s %v%s\n", res.Experiment.ID, res.Duration.Round(time.Millisecond), statusSuffix(res))
+	}
+
+	interrupted := ctx.Err() != nil
+	if interrupted {
+		trailer := fmt.Sprintf("\n> **Sweep interrupted** — %d of %d experiments completed; results above are partial.",
+			len(results)-len(incomplete), len(results))
+		if len(incomplete) > 0 {
+			trailer += fmt.Sprintf(" Not completed: %s.", strings.Join(incomplete, ", "))
+		}
+		trailer += "\n"
+		b.WriteString(trailer)
+		if toStdout {
+			fmt.Fprint(stdout, trailer)
+		}
+	}
+
+	// Write the markdown first: it is the primary artifact of a sweep that
+	// may have taken minutes, and must survive a failing -json path.
+	exit := 0
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			exit = 1
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeJSONFile(*jsonOut, *quick, *workers, interrupted, results); err != nil {
+			fmt.Fprintln(stderr, err)
+			exit = 1
+		}
+	}
+	switch {
+	case exit != 0:
+		// A failed -out/-json flush outranks the interrupt status: exit 130
+		// promises "partial results were saved", which would be a lie here.
+		return exit
+	case interrupted:
+		return 130
+	case len(failed) > 0:
+		fmt.Fprintf(stderr, "failed experiments: %s\n", strings.Join(failed, ", "))
+		return 1
+	}
+	return 0
+}
+
+func writeHeader(w io.Writer, mode string) {
+	fmt.Fprintf(w, `# EXPERIMENTS — paper vs. measured
 
 Reproduction harness for "Online Packet-Routing in Grids with Bounded
 Buffers" (Even & Medina, SPAA 2011). Regenerate with:
@@ -83,35 +196,44 @@ The ASCII reproductions of Figures 1–10/12 are printed by `+"`go run ./cmd/viz
 their structural claims are enforced by unit tests (see DESIGN.md §5).
 
 `, mode)
+}
 
-	for _, r := range results {
-		b.WriteString(r.Report.Markdown())
-		fmt.Fprintf(os.Stderr, "%-8s %v\n", r.Experiment.ID, r.Duration.Round(1e6))
+func statusSuffix(res experiments.Result) string {
+	var parts []string
+	if res.Attempts > 1 {
+		parts = append(parts, fmt.Sprintf("%d attempts", res.Attempts))
 	}
+	switch {
+	case res.Err == nil:
+	case errors.Is(res.Err, experiments.ErrSkipped):
+		parts = append(parts, "partial: "+res.Err.Error())
+	case isCancellation(res.Err):
+		parts = append(parts, "cancelled")
+	default:
+		parts = append(parts, "FAILED: "+res.Err.Error())
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(parts, "; ") + ")"
+}
 
-	// Write the markdown first: it is the primary artifact of a sweep that
-	// may have taken minutes, and must survive a failing -json path.
-	if *out == "" {
-		fmt.Print(b.String())
-	} else if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+// isCancellation reports whether the error is the caller's context being
+// cancelled (SIGINT). A per-experiment Policy timeout surfaces as
+// context.DeadlineExceeded instead and counts as a failure, not a
+// cancellation of the sweep.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled)
+}
 
-	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := experiments.WriteJSON(f, *quick, *workers, results); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+func writeJSONFile(path string, quick bool, workers int, partial bool, results []experiments.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	if err := experiments.WriteJSON(f, quick, workers, partial, results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
 	"gridroute/internal/optbound"
@@ -19,51 +21,91 @@ func init() {
 }
 
 // runAblations varies the design knobs the paper calls out.
-func runAblations(cfg Config) Report {
+func runAblations(ctx context.Context, cfg Config) (Report, error) {
 	n := 96
 	if cfg.Quick {
 		n = 64
 	}
+	var skips SkipList
+
+	// E13a: the sparsification constant γ and the load cap, on one shared
+	// instance against one shared certificate.
 	g := grid.Line(n, 1, 1)
-	reqs := workload.Uniform(g, 8*n, int64(3*n), cfg.RNG(21))
+	reqs := workload.Uniform(g, 8*n, int64(3*n), cfg.SubRNG("rand/uniform"))
 	horizon := spacetime.SuggestHorizon(g, reqs, 3)
 	upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-
-	t := stats.NewTable("E13a: sparsification constant γ (λ = 1/(γk)) and load cap",
-		"γ", "load cap", "delivered", "ratio vs dual upper")
+	type knob struct {
+		gamma, loadCap float64
+	}
+	var knobs []knob
 	for _, gamma := range []float64{0.25, 1, 8, 200} {
 		for _, lc := range []float64{0.25, 0.9} {
-			res, err := core.RunRandomized(g, reqs,
-				core.RandConfig{Horizon: horizon, Gamma: gamma, LoadCap: lc, Branch: 1},
-				cfg.RNG(3))
-			if err != nil {
-				continue
-			}
-			t.AddRow(gamma, lc, res.Throughput, ratio(upper, res.Throughput))
+			knobs = append(knobs, knob{gamma, lc})
 		}
 	}
-	// Tile side ablation for the deterministic algorithm (Sec. 3.3 footnote:
-	// rectangular vs square tiles trade a log factor).
-	g2 := grid.Line(n, 3, 3)
-	reqs2 := workload.Uniform(g2, 6*n, int64(2*n), cfg.RNG(22))
-	upper2, _ := optbound.DualUpperBound(g2, reqs2, spacetime.SuggestHorizon(g2, reqs2, 3))
-	k0 := core.TileSideDet(core.PMaxDet(g2))
-	t2 := stats.NewTable("E13b: deterministic tile side k (paper: ⌈log2(1+3·pmax)⌉)",
-		"k", "delivered", "ratio vs dual upper")
-	for _, k := range []int{k0 / 2, k0, 2 * k0} {
-		if k < 2 {
+	randSlots := make([]*core.RandResult, len(knobs))
+	err := cfg.Sweep(ctx, len(knobs), func(i int) {
+		kn := knobs[i]
+		// One coin stream for every knob: rows differ only through γ/cap.
+		res, err := core.RunRandomized(g, reqs,
+			core.RandConfig{Horizon: horizon, Gamma: kn.gamma, LoadCap: kn.loadCap, Branch: 1},
+			cfg.SubRNG("rand/coins"))
+		if err != nil {
+			skips.Skip("E13a gamma=%v loadcap=%v: %v", kn.gamma, kn.loadCap, err)
+			return
+		}
+		randSlots[i] = res
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	t := stats.NewTable("E13a: sparsification constant γ (λ = 1/(γk)) and load cap",
+		"γ", "load cap", "delivered", "ratio vs dual upper")
+	for i, kn := range knobs {
+		res := randSlots[i]
+		if res == nil {
 			continue
 		}
-		res, err := core.RunDeterministic(g2, reqs2, core.DetConfig{TileSide: k})
+		t.AddRow(kn.gamma, kn.loadCap, res.Throughput, ratio(upper, res.Throughput))
+	}
+
+	// E13b: tile side ablation for the deterministic algorithm (Sec. 3.3
+	// footnote: rectangular vs square tiles trade a log factor).
+	g2 := grid.Line(n, 3, 3)
+	reqs2 := workload.Uniform(g2, 6*n, int64(2*n), cfg.SubRNG("det/uniform"))
+	upper2, _ := optbound.DualUpperBound(g2, reqs2, spacetime.SuggestHorizon(g2, reqs2, 3))
+	k0 := core.TileSideDet(core.PMaxDet(g2))
+	var ks []int
+	for _, k := range []int{k0 / 2, k0, 2 * k0} {
+		if k >= 2 {
+			ks = append(ks, k)
+		}
+	}
+	detSlots := make([]*core.DetResult, len(ks))
+	err = cfg.Sweep(ctx, len(ks), func(i int) {
+		res, err := core.RunDeterministic(g2, reqs2, core.DetConfig{TileSide: ks[i]})
 		if err != nil {
+			skips.Skip("E13b k=%d: %v", ks[i], err)
+			return
+		}
+		detSlots[i] = res
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	t2 := stats.NewTable("E13b: deterministic tile side k (paper: ⌈log2(1+3·pmax)⌉)",
+		"k", "delivered", "ratio vs dual upper")
+	for i, k := range ks {
+		res := detSlots[i]
+		if res == nil {
 			continue
 		}
 		t2.AddRow(k, res.Throughput, ratio(upper2, res.Throughput))
 	}
-	return Report{
+	return skips.finish(Report{
 		Tables: []*stats.Table{t, t2},
 		Notes: []string{
 			"γ = 200 (the proof constant) rejects nearly everything at this scale: the O(log n) guarantee is asymptotic; engineering γ keeps the shape with usable constants.",
 		},
-	}
+	})
 }

@@ -5,9 +5,16 @@
 //
 // Each experiment registers itself (see registry.go) as an Experiment with a
 // stable ID; the Runner (runner.go) executes any selected subset over a
-// bounded pool of goroutines. Every experiment draws all of its randomness
-// from the Config it receives, whose seed is derived from the experiment ID
-// alone, so a parallel run is byte-identical to a serial one.
+// bounded pool of goroutines, streaming results in canonical order as they
+// finish. Every experiment draws all of its randomness from the Config it
+// receives, whose seeds are derived from the experiment ID (and, for
+// sub-cases, a sub-case key) alone, so a parallel run is byte-identical to
+// a serial one at any worker count.
+//
+// Run functions are fallible and cancellable: they return an error wrapping
+// ErrSkipped when sub-cases could not run (the skipped list also surfaces
+// in the report notes), and they honour context cancellation between
+// sub-cases via Config.Sweep.
 //
 // Competitive ratios are reported as certified_upper_bound / throughput,
 // where the upper bound comes from optbound.DualUpperBound (weak duality)
@@ -16,13 +23,23 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
+	"sync"
 
 	"gridroute/internal/stats"
 )
+
+// ErrSkipped is the sentinel wrapped by every "sub-cases could not run"
+// error. The runner treats it as a deterministic partial result — the
+// report is still rendered and the error is never retried — unlike real
+// failures, which count against the retry budget.
+var ErrSkipped = errors.New("sub-cases skipped")
 
 // Report is the outcome of one experiment. Run functions fill Tables and
 // Notes; the Runner stamps ID and Title from the registry entry, which is
@@ -52,21 +69,146 @@ func (r Report) Markdown() string {
 }
 
 // Config carries everything an experiment is allowed to depend on: the
-// sweep mode and the RNG seed. Experiments must derive all randomness via
-// RNG so that results are a pure function of (ID, Config).
+// sweep mode, its identity, and the RNG seeds. Experiments must derive all
+// randomness via RNG or SubRNG so that results are a pure function of
+// (ID, Config) — never of scheduling order or worker count.
 type Config struct {
 	// Quick selects the reduced sweep (seconds instead of minutes).
 	Quick bool
+	// ID is the experiment's registry ID, stamped by the Runner. Sub-case
+	// seeds (SubRNG) are derived from it, so they survive any refactoring
+	// of the base Seed.
+	ID string
 	// Seed is the base RNG seed; the Runner derives it from the experiment
 	// ID via SeedFor, making results independent of scheduling order.
 	Seed int64
+
+	// pool is the shared sub-task pool Sweep dispatches to, and lease the
+	// per-attempt slot accounting that lets the Runner reclaim slots from
+	// an abandoned (timed-out) attempt. A zero Config (tests, benchmarks)
+	// has no pool and sweeps inline.
+	pool  *subpool
+	lease *lease
 }
 
 // RNG returns a fresh deterministic generator for the given stream. Distinct
-// streams within one experiment decorrelate its sub-sweeps, mirroring the
-// fixed per-sweep seeds the serial harness used.
+// streams within one experiment decorrelate its sub-sweeps, and every call
+// returns an independent generator, so concurrent sub-cases may each take
+// their own copy of the same stream.
 func (c Config) RNG(stream int64) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed*1000003 + stream))
+}
+
+// SubRNG returns a fresh generator seeded from (ID, subkey) alone — the
+// per-sub-case analogue of the Runner's per-experiment seeding. Sub-cases
+// that name their (n, parameters) in the subkey get identical randomness at
+// any worker count and in any execution order.
+func (c Config) SubRNG(subkey string) *rand.Rand {
+	return rand.New(rand.NewSource(SeedFor(c.ID, subkey)))
+}
+
+// Sweep runs f(0..n-1) over the Runner's shared sub-task pool, which is
+// sized by -j and shared between experiments, so at most -j sub-tasks run
+// at once across the whole sweep — intra-experiment parallelism cannot
+// multiply the bound (experiment-level workers, also capped at -j, may
+// additionally do light orchestration work while their sub-tasks run).
+// Each f must write only to its own
+// per-index slot; callers assemble table rows in index order afterwards,
+// which keeps output byte-identical at any worker count. Once ctx is
+// cancelled no further sub-cases start; in-flight ones are waited for, then
+// the context's error is returned. A Config built by hand (tests,
+// benchmarks) has no pool and sweeps inline on the calling goroutine.
+func (c Config) Sweep(ctx context.Context, n int, f func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.pool == nil {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			f(i)
+		}
+		return nil
+	}
+	l := c.lease
+	if l == nil {
+		l = &lease{}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// Acquire the slot before spawning so dispatch blocks while the
+		// machine is saturated; sub-tasks never acquire further slots, so
+		// the pool cannot deadlock. acquire fails once ctx is done.
+		if err := c.pool.acquire(ctx, l); err != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer c.pool.release(l)
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// SkipList collects the sub-cases an experiment could not run. It is safe
+// for concurrent use from Sweep sub-tasks; the rendered list is sorted so
+// notes and errors are deterministic regardless of completion order.
+type SkipList struct {
+	mu    sync.Mutex
+	items []string
+}
+
+// Skip records one skipped sub-case.
+func (s *SkipList) Skip(format string, args ...any) {
+	s.mu.Lock()
+	s.items = append(s.items, fmt.Sprintf(format, args...))
+	s.mu.Unlock()
+}
+
+// Len reports how many sub-cases were skipped.
+func (s *SkipList) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+func (s *SkipList) sorted() []string {
+	s.mu.Lock()
+	out := append([]string(nil), s.items...)
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Apply appends the skipped-sub-case note to the report, making the loss
+// visible in EXPERIMENTS.md rather than silently thinning the tables.
+func (s *SkipList) Apply(r *Report) {
+	if s.Len() == 0 {
+		return
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("⚠ skipped sub-cases: %s.", strings.Join(s.sorted(), "; ")))
+}
+
+// Err returns nil when nothing was skipped, and otherwise an error wrapping
+// ErrSkipped that names every skipped sub-case.
+func (s *SkipList) Err() error {
+	items := s.sorted()
+	if len(items) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrSkipped, strings.Join(items, "; "))
+}
+
+// finish is the common experiment epilogue: surface the skip list in the
+// notes and as a typed error.
+func (s *SkipList) finish(rep Report) (Report, error) {
+	s.Apply(&rep)
+	return rep, s.Err()
 }
 
 // Sizes returns the n-sweep for the configured mode.

@@ -1,18 +1,22 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
 // The full quick-mode suite must produce every report with non-empty
-// tables — this is the regression net for EXPERIMENTS.md generation.
+// tables and no hard errors — this is the regression net for
+// EXPERIMENTS.md generation.
 func TestAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	results := Runner{Workers: 1, Quick: true}.RunAll()
+	results := Runner{Workers: 1, Quick: true}.RunAll(context.Background())
 	wantIDs := []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13"}
 	if len(results) != len(wantIDs) {
 		t.Fatalf("got %d reports, want %d", len(results), len(wantIDs))
@@ -25,8 +29,14 @@ func TestAllQuick(t *testing.T) {
 		if r.ID != res.Experiment.ID {
 			t.Errorf("report id %q does not match experiment id %q", r.ID, res.Experiment.ID)
 		}
+		if res.Err != nil && !errors.Is(res.Err, ErrSkipped) {
+			t.Errorf("report %s: hard error %v", r.ID, res.Err)
+		}
 		if res.Duration <= 0 {
 			t.Errorf("report %s: no wall-clock timing recorded", r.ID)
+		}
+		if res.Attempts != 1 {
+			t.Errorf("report %s: %d attempts on a deterministic suite", r.ID, res.Attempts)
 		}
 		if len(r.Tables) == 0 {
 			t.Errorf("report %s has no tables", r.ID)
@@ -73,5 +83,93 @@ func TestConfigRNGDeterministic(t *testing.T) {
 	}
 	if cfg.RNG(1).Int63() == cfg.RNG(2).Int63() {
 		t.Fatal("distinct streams should decorrelate (first draw collided)")
+	}
+}
+
+// SubRNG is a pure function of (ID, subkey): independent of Seed, worker
+// count, and call order.
+func TestConfigSubRNGDeterministic(t *testing.T) {
+	a := Config{ID: "T1", Seed: 1}
+	b := Config{ID: "T1", Seed: 999}
+	if a.SubRNG("n=64").Int63() != b.SubRNG("n=64").Int63() {
+		t.Fatal("SubRNG must depend on (ID, subkey) alone")
+	}
+	if a.SubRNG("n=64").Int63() == a.SubRNG("n=32").Int63() {
+		t.Fatal("distinct subkeys should decorrelate (first draw collided)")
+	}
+	c := Config{ID: "T2", Seed: 1}
+	if a.SubRNG("n=64").Int63() == c.SubRNG("n=64").Int63() {
+		t.Fatal("distinct IDs should decorrelate (first draw collided)")
+	}
+}
+
+// Sweep without a pool runs inline; with a pool it must still run every
+// index exactly once, whatever the pool size.
+func TestConfigSweepRunsAllIndices(t *testing.T) {
+	for _, poolSize := range []int{0, 1, 3, 16} {
+		cfg := Config{}
+		if poolSize > 0 {
+			cfg.pool = newSubpool(poolSize)
+		}
+		const n = 23
+		var hits [n]atomic.Int32
+		if err := cfg.Sweep(context.Background(), n, func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatalf("pool=%d: %v", poolSize, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("pool=%d: index %d ran %d times", poolSize, i, got)
+			}
+		}
+	}
+}
+
+// A cancelled context stops the sweep at the next dispatch point and is
+// reported; already-running sub-cases are waited for.
+func TestConfigSweepHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, withPool := range []bool{false, true} {
+		cfg := Config{}
+		if withPool {
+			cfg.pool = newSubpool(2)
+		}
+		ran := 0
+		err := cfg.Sweep(ctx, 10, func(int) { ran++ })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("pool=%v: err = %v, want context.Canceled", withPool, err)
+		}
+		if ran != 0 {
+			t.Fatalf("pool=%v: %d sub-cases ran after cancellation", withPool, ran)
+		}
+	}
+}
+
+func TestSkipList(t *testing.T) {
+	var s SkipList
+	if s.Err() != nil || s.Len() != 0 {
+		t.Fatal("empty SkipList must report no error")
+	}
+	rep := Report{Notes: []string{"existing"}}
+	s.Apply(&rep)
+	if len(rep.Notes) != 1 {
+		t.Fatal("empty SkipList must not add a note")
+	}
+	// Record out of order (as parallel sub-tasks would): output is sorted
+	// lexicographically, so notes and errors stay deterministic at any
+	// worker count.
+	s.Skip("n=%d: zebra", 256)
+	s.Skip("n=%d: aardvark", 32)
+	err := s.Err()
+	if !errors.Is(err, ErrSkipped) {
+		t.Fatalf("err = %v, want ErrSkipped wrap", err)
+	}
+	want := "n=256: zebra; n=32: aardvark"
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("err %q does not carry sorted skip list %q", err, want)
+	}
+	s.Apply(&rep)
+	if len(rep.Notes) != 2 || !strings.Contains(rep.Notes[1], want) {
+		t.Fatalf("notes = %v, want sorted skip note", rep.Notes)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gridroute/internal/core"
@@ -21,24 +22,43 @@ func init() {
 }
 
 // runThm13 measures the large-capacity algorithm.
-func runThm13(cfg Config) Report {
-	t := stats.NewTable("Thm 13: large B, c — scaled ipp over the space-time graph",
-		"n", "B=c", "k", "delivered", "upper", "ratio", "ratio/log2(n)")
-	for _, n := range cfg.Sizes() {
+func runThm13(ctx context.Context, cfg Config) (Report, error) {
+	sizes := cfg.Sizes()
+	type slot struct {
+		res   *core.LargeCapResult
+		upper float64
+	}
+	slots := make([]slot, len(sizes))
+	var skips SkipList
+	err := cfg.Sweep(ctx, len(sizes), func(i int) {
+		n := sizes[i]
 		g := grid.Line(n, 64, 64)
-		reqs := workload.Saturating(g, 6, 3, cfg.RNG(int64(n)+4))
+		reqs := workload.Saturating(g, 6, 3, cfg.SubRNG(fmt.Sprintf("n=%d", n)))
 		horizon := spacetime.SuggestHorizon(g, reqs, 2)
 		res, err := core.RunLargeCapacity(g, reqs, core.DetConfig{Horizon: horizon})
 		if err != nil {
-			t.AddRow(n, 64, "-", "-", "-", fmt.Sprint(err), "-")
-			continue
+			skips.Skip("n=%d: %v", n, err)
+			return
 		}
 		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-		r := ratio(upper, res.Throughput)
-		t.AddRow(n, 64, res.K, res.Throughput, upper, r, r/float64(log2int(n)))
+		slots[i] = slot{res: res, upper: upper}
+	})
+	if err != nil {
+		return Report{}, err
 	}
-	return Report{
+
+	t := stats.NewTable("Thm 13: large B, c — scaled ipp over the space-time graph",
+		"n", "B=c", "k", "delivered", "upper", "ratio", "ratio/log2(n)")
+	for i, n := range sizes {
+		s := slots[i]
+		if s.res == nil {
+			continue
+		}
+		r := ratio(s.upper, s.res.Throughput)
+		t.AddRow(n, 64, s.res.K, s.res.Throughput, s.upper, r, r/float64(log2int(n)))
+	}
+	return skips.finish(Report{
 		Tables: []*stats.Table{t},
 		Notes:  []string{"Non-preemptive: every admitted packet is delivered; replayed schedules satisfy the unscaled capacities because the Thm 1 load bound k cancels the 1/k capacity scaling."},
-	}
+	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gridroute/internal/baseline"
@@ -21,34 +22,53 @@ func init() {
 }
 
 // runLowerBounds runs the Table 1 lower-bound constructions.
-func runLowerBounds(cfg Config) Report {
+func runLowerBounds(ctx context.Context, cfg Config) (Report, error) {
+	sizes := cfg.Sizes()
+	type slot struct {
+		convoyTP, convoyOpt int
+		chainTP, chainOpt   int
+	}
+	slots := make([]slot, len(sizes))
+	err := cfg.Sweep(ctx, len(sizes), func(i int) {
+		n := sizes[i]
+		// Convoy [AKOR03]: Ω(√n) against greedy.
+		g := grid.Line(n, 3, 1)
+		reqs := workload.ConvoyRate(n, 2*n, 1, 1)
+		horizon := spacetime.SuggestHorizon(g, reqs, 3)
+		s := slot{
+			convoyTP:  baseline.Run(g, reqs, baseline.Greedy{}, netsim.Model1, horizon).Throughput(),
+			convoyOpt: workload.ConvoyOPTLowerBound(n, 2*n, 1),
+		}
+		// Model 2, B = 1: stream + collision injections (the [AZ05, AKK09]
+		// Ω(n) phenomenon for FIFO-style deterministic policies).
+		g2 := grid.Line(n, 1, 1)
+		var chain []grid.Request
+		chain = append(chain, grid.Request{Src: grid.Vec{0}, Dst: grid.Vec{n - 1}, Arrival: 0, Deadline: grid.InfDeadline})
+		for v := 1; v < n-1; v++ {
+			chain = append(chain, grid.Request{Src: grid.Vec{v}, Dst: grid.Vec{v + 1}, Arrival: int64(v), Deadline: grid.InfDeadline})
+		}
+		s.chainTP = baseline.Run(g2, chain, baseline.Greedy{}, netsim.Model2, int64(4*n)).Throughput()
+		s.chainOpt = n - 2 // all shorts are mutually disjoint
+		slots[i] = s
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
 	t := stats.NewTable("Lower-bound constructions",
 		"construction", "n", "alg", "delivered", "OPT (constructed)", "ratio")
 	var ns []int
 	var rs []float64
-	for _, n := range cfg.Sizes() {
-		g := grid.Line(n, 3, 1)
-		reqs := workload.ConvoyRate(n, 2*n, 1, 1)
-		optLB := workload.ConvoyOPTLowerBound(n, 2*n, 1)
-		horizon := spacetime.SuggestHorizon(g, reqs, 3)
-		gr := baseline.Run(g, reqs, baseline.Greedy{}, netsim.Model1, horizon)
-		r := ratio(float64(optLB), gr.Throughput())
-		t.AddRow("convoy [AKOR03]", n, "greedy", gr.Throughput(), optLB, r)
+	for i, n := range sizes {
+		s := slots[i]
+		r := ratio(float64(s.convoyOpt), s.convoyTP)
+		t.AddRow("convoy [AKOR03]", n, "greedy", s.convoyTP, s.convoyOpt, r)
 		ns = append(ns, n)
 		rs = append(rs, r)
 	}
-	// Model 2, B = 1: stream + collision injections (the [AZ05, AKK09] Ω(n)
-	// phenomenon for FIFO-style deterministic policies).
-	for _, n := range cfg.Sizes() {
-		g := grid.Line(n, 1, 1)
-		var reqs []grid.Request
-		reqs = append(reqs, grid.Request{Src: grid.Vec{0}, Dst: grid.Vec{n - 1}, Arrival: 0, Deadline: grid.InfDeadline})
-		for v := 1; v < n-1; v++ {
-			reqs = append(reqs, grid.Request{Src: grid.Vec{v}, Dst: grid.Vec{v + 1}, Arrival: int64(v), Deadline: grid.InfDeadline})
-		}
-		res := baseline.Run(g, reqs, baseline.Greedy{}, netsim.Model2, int64(4*n))
-		optLB := n - 2 // all shorts are mutually disjoint
-		t.AddRow("B=1 collision chain (Model 2)", n, "greedy", res.Throughput(), optLB, ratio(float64(optLB), res.Throughput()))
+	for i, n := range sizes {
+		s := slots[i]
+		t.AddRow("B=1 collision chain (Model 2)", n, "greedy", s.chainTP, s.chainOpt, ratio(float64(s.chainOpt), s.chainTP))
 	}
 	return Report{
 		Tables: []*stats.Table{t},
@@ -56,5 +76,5 @@ func runLowerBounds(cfg Config) Report {
 			fmt.Sprintf("Greedy convoy ratio growth exponent: %.2f (Table 1 row 'greedy' predicts ≥ 0.5).", stats.GrowthExponent(ns, rs)),
 			"The Model-2 chain shows a FIFO policy forced to drop every short hop: ratio grows linearly in n, matching the Ω(n) bound for B = 1 in Model 2 (Appendix F remark 3).",
 		},
-	}
+	}, nil
 }

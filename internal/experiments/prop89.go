@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"gridroute/internal/core"
+	"gridroute/internal/grid"
+	"gridroute/internal/stats"
+	"gridroute/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "E10",
+		Title: "Props 8/9 — loss decomposition of detailed routing",
+		Tags:  []string{"guarantee", "prop8", "prop9", "routing"},
+		Run:   runProp89,
+	})
+}
+
+// runProp89 reports the detailed-routing loss fractions.
+func runProp89(ctx context.Context, cfg Config) (Report, error) {
+	sizes := cfg.Sizes()
+	slots := make([]*core.DetResult, len(sizes))
+	var skips SkipList
+	err := cfg.Sweep(ctx, len(sizes), func(i int) {
+		n := sizes[i]
+		g := grid.Line(n, 3, 3)
+		reqs := workload.Saturating(g, 8, 2, cfg.SubRNG(fmt.Sprintf("n=%d", n)))
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
+		if err != nil {
+			skips.Skip("n=%d: %v", n, err)
+			return
+		}
+		if res.Admitted == 0 {
+			skips.Skip("n=%d: nothing admitted", n)
+			return
+		}
+		slots[i] = res
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	t := stats.NewTable("Props 8, 9: detailed-routing survival fractions (theory: each ≥ 1/(2k))",
+		"n", "k", "ipp", "ipp'", "alg", "ipp'/ipp", "alg/ipp'", "1/(2k)")
+	for i, n := range sizes {
+		res := slots[i]
+		if res == nil {
+			continue
+		}
+		f1 := float64(res.ReachedLastTile) / float64(res.Admitted)
+		f2 := 0.0
+		if res.ReachedLastTile > 0 {
+			f2 = float64(res.Throughput) / float64(res.ReachedLastTile)
+		}
+		t.AddRow(n, res.K, res.Admitted, res.ReachedLastTile, res.Throughput, f1, f2, 1/(2*float64(res.K)))
+	}
+	return skips.finish(Report{Tables: []*stats.Table{t}})
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"sort"
@@ -9,12 +10,15 @@ import (
 
 // Experiment is one registered reproduction: a stable ID (the anchor for
 // seeding, selection and benchmarks), a human title, coarse tags for
-// selection, and the pure Run function.
+// selection, and the Run function. Run is a pure function of (ctx, Config):
+// it reports skipped sub-cases as errors wrapping ErrSkipped, honours ctx
+// cancellation between sub-cases (Config.Sweep), and never depends on
+// scheduling order.
 type Experiment struct {
 	ID    string
 	Title string
 	Tags  []string
-	Run   func(Config) Report
+	Run   func(ctx context.Context, cfg Config) (Report, error)
 }
 
 var registry []Experiment

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -43,7 +44,10 @@ func TestSelect(t *testing.T) {
 		{"^T", []string{"T1", "T2"}},
 		{"^E1-E3$", []string{"E1-E3"}},
 		{"^E1", []string{"E1-E3", "E10", "E11", "E13"}},
+		{"^E4$", []string{"E4"}},      // fully anchored ID
 		{"ablation", []string{"E13"}}, // tag match
+		{"pipeline", []string{"E5"}},  // tag-only match (no ID contains it)
+		{"^thm29$", []string{"E5"}},   // anchored tag
 		{"randomized", []string{"T2", "E5", "E13"}},
 		{"zzz-no-such", nil},
 	} {
@@ -59,8 +63,10 @@ func TestSelect(t *testing.T) {
 			t.Errorf("Select(%q) = %v, want %v", tc.pattern, got, tc.want)
 		}
 	}
-	if _, err := Select("("); err == nil {
-		t.Fatal("invalid regexp must error")
+	for _, bad := range []string{"(", "[", "a{2,1}"} {
+		if _, err := Select(bad); err == nil {
+			t.Fatalf("invalid regexp %q must error", bad)
+		}
 	}
 }
 
@@ -70,7 +76,7 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 			t.Fatal("duplicate Register must panic")
 		}
 	}()
-	Register(Experiment{ID: "T1", Run: func(Config) Report { return Report{} }})
+	Register(Experiment{ID: "T1", Run: func(context.Context, Config) (Report, error) { return Report{}, nil }})
 }
 
 func TestSeedForStableAndDistinct(t *testing.T) {

@@ -1,77 +1,291 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
 )
 
-// Result is one executed experiment: its report plus the wall-clock time
-// the Run call took on this machine.
+// Result is one executed experiment: its report, the error that ended it
+// (nil on success; wraps ErrSkipped for deterministic partial results), the
+// wall-clock time across all attempts, and how many attempts were made.
+// Attempts is 0 when the experiment was cancelled before it ever started.
 type Result struct {
 	Experiment Experiment
 	Report     Report
+	Err        error
 	Duration   time.Duration
+	Attempts   int
+}
+
+// Policy controls how the Runner shepherds each experiment through failure.
+type Policy struct {
+	// Timeout bounds each attempt of one experiment; 0 means no limit.
+	// Experiments observe it cooperatively between sub-cases (Config.Sweep);
+	// an attempt that overruns is abandoned and reported as
+	// context.DeadlineExceeded.
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is re-run. Errors wrapping
+	// ErrSkipped and cancellations of the caller's context are never
+	// retried: both are deterministic, so a retry cannot help.
+	Retries int
 }
 
 // Runner executes a set of experiments over a bounded pool of goroutines.
-// Results come back in input order regardless of which worker finished
+// Results stream back in input order regardless of which worker finished
 // first, and every experiment is seeded from its ID alone (SeedFor), so the
 // rendered tables are byte-identical for any Workers value.
 type Runner struct {
-	// Workers bounds the goroutine pool; values < 1 mean GOMAXPROCS.
+	// Workers bounds both the experiment-level pool and the shared sub-task
+	// pool (Config.Sweep); values < 1 mean GOMAXPROCS.
 	Workers int
 	// Quick selects the reduced sweep.
 	Quick bool
+	// Policy is the per-experiment timeout/retry policy (zero = run once,
+	// no time limit).
+	Policy Policy
 }
 
-// SeedFor derives the deterministic base seed for an experiment ID
-// (FNV-1a over the ID bytes). Scheduling order never enters the seed.
-func SeedFor(id string) int64 {
+// SeedFor derives the deterministic seed for an experiment ID and an
+// optional chain of sub-case keys (FNV-1a over the NUL-joined parts).
+// Scheduling order never enters the seed: SeedFor("T1") names the same
+// stream on every machine, and SeedFor("T1", "n=64") a distinct one.
+func SeedFor(id string, subkeys ...string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(id))
+	for _, k := range subkeys {
+		h.Write([]byte{0})
+		h.Write([]byte(k))
+	}
 	return int64(h.Sum64())
 }
 
-// Run executes the experiments and returns one Result per input, in input
-// order.
-func (r Runner) Run(exps []Experiment) []Result {
-	workers := r.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+// subpool is the shared sub-task semaphore: one slot per -j worker, shared
+// between experiments so intra-experiment parallelism cannot multiply the
+// concurrency bound. Slots are held under a per-attempt lease so that when
+// a timed-out attempt is abandoned, the slots its hung sub-tasks still
+// hold can be reclaimed instead of starving every other experiment.
+type subpool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free int
+}
+
+func newSubpool(n int) *subpool {
+	p := &subpool{free: n}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// lease is one attempt's slot accounting. All fields are guarded by the
+// pool's mutex.
+type lease struct {
+	held      int
+	abandoned bool
+}
+
+// acquire blocks until a slot is free or ctx is done.
+func (p *subpool) acquire(ctx context.Context, l *lease) error {
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.free == 0 && ctx.Err() == nil {
+		p.cond.Wait()
 	}
-	if workers > len(exps) {
-		workers = len(exps)
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	results := make([]Result, len(exps))
+	p.free--
+	l.held++
+	return nil
+}
+
+// release returns a slot unless the lease was already reclaimed (the
+// runner freed the abandoned attempt's slots on its behalf).
+func (p *subpool) release(l *lease) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l.held--
+	if l.abandoned {
+		return
+	}
+	p.free++
+	p.cond.Signal()
+}
+
+// reclaim frees every slot an abandoned attempt still holds, so a hung
+// sub-task stops counting against the shared pool. The hung goroutine may
+// keep computing (Go cannot kill it), but other experiments regain their
+// concurrency; its own eventual release becomes a no-op.
+func (p *subpool) reclaim(l *lease) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l.abandoned = true
+	p.free += l.held
+	p.cond.Broadcast()
+}
+
+func (r Runner) workers(jobs int) (expWorkers, poolSize int) {
+	poolSize = r.Workers
+	if poolSize < 1 {
+		poolSize = runtime.GOMAXPROCS(0)
+	}
+	expWorkers = poolSize
+	if expWorkers > jobs {
+		expWorkers = jobs
+	}
+	return expWorkers, poolSize
+}
+
+// Stream executes the experiments and emits one Result per input on the
+// returned channel, in input order, as soon as each becomes available: a
+// small reorder buffer holds out-of-order finishers until their turn. The
+// channel always delivers exactly len(exps) results and is then closed —
+// after ctx is cancelled, not-yet-started experiments drain immediately as
+// Results whose Err is ctx's error, so a consumer can flush partial output
+// and still see the full accounting.
+func (r Runner) Stream(ctx context.Context, exps []Experiment) <-chan Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	expWorkers, poolSize := r.workers(len(exps))
+	pool := newSubpool(poolSize)
+	type indexed struct {
+		i   int
+		res Result
+	}
 	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
+	finished := make(chan indexed)
+	for w := 0; w < expWorkers; w++ {
 		go func() {
-			defer wg.Done()
 			for i := range jobs {
 				e := exps[i]
-				cfg := Config{Quick: r.Quick, Seed: SeedFor(e.ID)}
-				start := time.Now()
-				rep := e.Run(cfg)
-				// The registry entry is the single source of truth for ID and
-				// Title; Run functions only produce tables and notes.
-				rep.ID, rep.Title = e.ID, e.Title
-				results[i] = Result{Experiment: e, Report: rep, Duration: time.Since(start)}
+				if err := ctx.Err(); err != nil {
+					// Drain without running so every index still yields a
+					// Result and the stream can close.
+					finished <- indexed{i, Result{
+						Experiment: e,
+						Report:     Report{ID: e.ID, Title: e.Title},
+						Err:        err,
+					}}
+					continue
+				}
+				finished <- indexed{i, r.runOne(ctx, e, pool)}
 			}
 		}()
 	}
-	for i := range exps {
-		jobs <- i
+	go func() {
+		for i := range exps {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	out := make(chan Result)
+	go func() {
+		defer close(out)
+		pending := make(map[int]Result)
+		next := 0
+		for received := 0; received < len(exps); received++ {
+			fin := <-finished
+			pending[fin.i] = fin.res
+			for {
+				res, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- res
+				next++
+			}
+		}
+	}()
+	return out
+}
+
+// runOne shepherds a single experiment through the retry policy.
+func (r Runner) runOne(ctx context.Context, e Experiment, pool *subpool) Result {
+	res := Result{Experiment: e}
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		res.Report, res.Err = r.attempt(ctx, e, pool)
+		if res.Err == nil || errors.Is(res.Err, ErrSkipped) {
+			break
+		}
+		if ctx.Err() != nil || attempt > r.Policy.Retries {
+			break
+		}
 	}
-	close(jobs)
-	wg.Wait()
+	res.Duration = time.Since(start)
+	// The registry entry is the single source of truth for ID and Title;
+	// Run functions only produce tables and notes.
+	res.Report.ID, res.Report.Title = e.ID, e.Title
+	return res
+}
+
+// attempt runs the experiment once. Without a timeout it runs inline and
+// relies on the experiment observing ctx cooperatively (Config.Sweep checks
+// between sub-cases). With a Policy timeout the run gets its own goroutine
+// so a stuck experiment can be abandoned at the deadline — its sub-tasks
+// stop at the next Sweep cancellation check and release their pool slots.
+func (r Runner) attempt(ctx context.Context, e Experiment, pool *subpool) (Report, error) {
+	cfg := Config{Quick: r.Quick, ID: e.ID, Seed: SeedFor(e.ID), pool: pool, lease: &lease{}}
+	if r.Policy.Timeout <= 0 {
+		return safeRun(ctx, e, cfg)
+	}
+	actx, cancel := context.WithTimeout(ctx, r.Policy.Timeout)
+	defer cancel()
+	type outcome struct {
+		rep Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := safeRun(actx, e, cfg)
+		done <- outcome{rep, err}
+	}()
+	select {
+	case o := <-done:
+		return o.rep, o.err
+	case <-actx.Done():
+		// Abandon the attempt and hand its still-held pool slots back so a
+		// hung sub-case cannot starve the rest of the sweep.
+		pool.reclaim(cfg.lease)
+		return Report{}, actx.Err()
+	}
+}
+
+// safeRun converts an experiment panic into an error so one broken
+// experiment cannot take down the worker (or the whole sweep).
+func safeRun(ctx context.Context, e Experiment, cfg Config) (rep Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiment %s panicked: %v", e.ID, p)
+		}
+	}()
+	return e.Run(ctx, cfg)
+}
+
+// Run executes the experiments and returns one Result per input, in input
+// order, after the whole set has drained.
+func (r Runner) Run(ctx context.Context, exps []Experiment) []Result {
+	results := make([]Result, 0, len(exps))
+	for res := range r.Stream(ctx, exps) {
+		results = append(results, res)
+	}
 	return results
 }
 
 // RunAll executes every registered experiment.
-func (r Runner) RunAll() []Result {
-	return r.Run(Registered())
+func (r Runner) RunAll(ctx context.Context) []Result {
+	return r.Run(ctx, Registered())
 }

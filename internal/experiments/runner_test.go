@@ -2,9 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func renderAll(results []Result) string {
@@ -15,37 +20,53 @@ func renderAll(results []Result) string {
 	return b.String()
 }
 
-// A parallel run must produce byte-identical tables to a serial run: every
-// experiment is seeded from its ID, never from scheduling order.
+// stub builds a synthetic experiment for runner-behaviour tests.
+func stub(id string, run func(ctx context.Context, cfg Config) (Report, error)) Experiment {
+	return Experiment{ID: id, Title: "stub " + id, Tags: []string{"stub"}, Run: run}
+}
+
+func okStub(id string) Experiment {
+	return stub(id, func(context.Context, Config) (Report, error) {
+		return Report{Notes: []string{"ok"}}, nil
+	})
+}
+
+// A parallel run must produce byte-identical tables to a serial run at any
+// worker count: every experiment — and every sub-case of its n-sweep — is
+// seeded from its ID, never from scheduling order.
 func TestRunnerParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	serial := Runner{Workers: 1, Quick: true}.RunAll()
-	parallel := Runner{Workers: 4, Quick: true}.RunAll()
-	sMD, pMD := renderAll(serial), renderAll(parallel)
-	if sMD != pMD {
-		t.Fatalf("parallel (-j 4) markdown differs from serial (-j 1):\nserial:\n%.2000s\nparallel:\n%.2000s", sMD, pMD)
+	ctx := context.Background()
+	serial := Runner{Workers: 1, Quick: true}.RunAll(ctx)
+	sMD := renderAll(serial)
+	for _, workers := range []int{4, 8} {
+		parallel := Runner{Workers: workers, Quick: true}.RunAll(ctx)
+		if pMD := renderAll(parallel); sMD != pMD {
+			t.Fatalf("-j %d markdown differs from serial (-j 1):\nserial:\n%.2000s\nparallel:\n%.2000s", workers, sMD, pMD)
+		}
 	}
 	if !strings.Contains(sMD, "## T1") || !strings.Contains(sMD, "## E13") {
 		t.Fatal("rendered suite is missing expected sections")
+	}
+	for _, res := range serial {
+		if res.Err != nil && !errors.Is(res.Err, ErrSkipped) {
+			t.Errorf("%s: unexpected error %v", res.Experiment.ID, res.Err)
+		}
 	}
 }
 
 func TestRunnerPreservesInputOrder(t *testing.T) {
 	var exps []Experiment
 	for _, id := range []string{"E13", "T1", "E4"} {
-		e, ok := Lookup(id)
-		if !ok {
+		if _, ok := Lookup(id); !ok {
 			t.Fatalf("missing %s", id)
 		}
 		// Stub the heavy Run: order preservation is a scheduling property.
-		e.Run = func(id string) func(Config) Report {
-			return func(Config) Report { return Report{ID: id} }
-		}(id)
-		exps = append(exps, e)
+		exps = append(exps, okStub(id))
 	}
-	results := Runner{Workers: 3, Quick: true}.Run(exps)
+	results := Runner{Workers: 3, Quick: true}.Run(context.Background(), exps)
 	for i, want := range []string{"E13", "T1", "E4"} {
 		if results[i].Experiment.ID != want || results[i].Report.ID != want {
 			t.Fatalf("result %d = %s (report %s), want %s", i, results[i].Experiment.ID, results[i].Report.ID, want)
@@ -54,17 +75,255 @@ func TestRunnerPreservesInputOrder(t *testing.T) {
 }
 
 func TestRunnerWorkerClamping(t *testing.T) {
-	e, _ := Lookup("E9")
-	e.Run = func(Config) Report { return Report{Notes: []string{"stub"}} }
 	for _, workers := range []int{-1, 0, 1, 100} {
-		results := Runner{Workers: workers, Quick: true}.Run([]Experiment{e})
+		results := Runner{Workers: workers, Quick: true}.Run(context.Background(), []Experiment{okStub("E9")})
 		if len(results) != 1 || len(results[0].Report.Notes) != 1 {
 			t.Fatalf("Workers=%d: bad results %+v", workers, results)
 		}
-		// The runner stamps ID/Title from the registry entry.
-		if results[0].Report.ID != "E9" || results[0].Report.Title != e.Title {
+		// The runner stamps ID/Title from the input entry.
+		if results[0].Report.ID != "E9" || results[0].Report.Title != "stub E9" {
 			t.Fatalf("Workers=%d: report not stamped: %+v", workers, results[0].Report)
 		}
+		if results[0].Err != nil || results[0].Attempts != 1 {
+			t.Fatalf("Workers=%d: err=%v attempts=%d", workers, results[0].Err, results[0].Attempts)
+		}
+	}
+}
+
+// Stream must emit each result as soon as its turn comes, not after the
+// whole set finishes: the first (slow) experiment's result must be
+// deliverable while the last one is still blocked.
+func TestStreamEmitsIncrementally(t *testing.T) {
+	release := make(chan struct{})
+	exps := []Experiment{
+		okStub("A"),
+		stub("B", func(context.Context, Config) (Report, error) {
+			<-release
+			return Report{}, nil
+		}),
+	}
+	ch := Runner{Workers: 2}.Stream(context.Background(), exps)
+	select {
+	case res := <-ch:
+		if res.Experiment.ID != "A" {
+			t.Fatalf("first emitted = %s, want A", res.Experiment.ID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("A's result was held back until the whole sweep finished")
+	}
+	close(release)
+	if res := <-ch; res.Experiment.ID != "B" {
+		t.Fatalf("second emitted = %s, want B", res.Experiment.ID)
+	}
+	if _, open := <-ch; open {
+		t.Fatal("stream not closed after all results")
+	}
+}
+
+// The reorder buffer must hold an early finisher until its predecessors
+// have been emitted, preserving canonical order.
+func TestStreamPreservesOrderAcrossFinishTimes(t *testing.T) {
+	firstDone := make(chan struct{})
+	exps := []Experiment{
+		stub("slow", func(context.Context, Config) (Report, error) {
+			<-firstDone // finishes last
+			return Report{}, nil
+		}),
+		stub("fast", func(context.Context, Config) (Report, error) {
+			close(firstDone) // finishes first
+			return Report{}, nil
+		}),
+	}
+	var got []string
+	for res := range (Runner{Workers: 2}).Stream(context.Background(), exps) {
+		got = append(got, res.Experiment.ID)
+	}
+	if strings.Join(got, ",") != "slow,fast" {
+		t.Fatalf("emission order %v, want [slow fast]", got)
+	}
+}
+
+// An experiment that overruns the per-attempt timeout is abandoned and
+// reported as DeadlineExceeded after exhausting the retry budget.
+func TestRunnerTimeout(t *testing.T) {
+	exp := stub("hang", func(ctx context.Context, _ Config) (Report, error) {
+		select {
+		case <-ctx.Done():
+			return Report{}, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return Report{}, errors.New("never reached")
+		}
+	})
+	r := Runner{Workers: 1, Policy: Policy{Timeout: 20 * time.Millisecond, Retries: 1}}
+	results := r.Run(context.Background(), []Experiment{exp})
+	res := results[0]
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", res.Err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (timeouts count against the retry budget)", res.Attempts)
+	}
+}
+
+// When a timed-out attempt is abandoned while a hung sub-task still holds
+// a shared pool slot, the slot must be reclaimed: later experiments in the
+// same sweep still get to run (they'd deadlock forever otherwise).
+func TestRunnerTimeoutReclaimsPoolSlots(t *testing.T) {
+	unhang := make(chan struct{})
+	defer close(unhang)
+	hung := stub("hung", func(ctx context.Context, cfg Config) (Report, error) {
+		err := cfg.Sweep(ctx, 1, func(int) { <-unhang })
+		return Report{}, err
+	})
+	healthy := stub("healthy", func(ctx context.Context, cfg Config) (Report, error) {
+		ran := 0
+		if err := cfg.Sweep(ctx, 3, func(int) { ran++ }); err != nil {
+			return Report{}, err
+		}
+		return Report{Notes: []string{fmt.Sprint(ran)}}, nil
+	})
+	// Workers=1: a single shared slot, held by the hung sub-task when the
+	// attempt is abandoned at the deadline.
+	r := Runner{Workers: 1, Policy: Policy{Timeout: 30 * time.Millisecond}}
+	doneCh := make(chan []Result, 1)
+	go func() { doneCh <- r.Run(context.Background(), []Experiment{hung, healthy}) }()
+	select {
+	case results := <-doneCh:
+		if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+			t.Fatalf("hung: err = %v, want DeadlineExceeded", results[0].Err)
+		}
+		if results[1].Err != nil || len(results[1].Report.Notes) != 1 || results[1].Report.Notes[0] != "3" {
+			t.Fatalf("healthy experiment starved: %+v", results[1])
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep deadlocked: abandoned attempt's pool slot was never reclaimed")
+	}
+}
+
+// A transiently failing experiment is retried and its eventual success
+// reported, with the attempt count visible.
+func TestRunnerRetryThenSucceed(t *testing.T) {
+	var calls atomic.Int32
+	exp := stub("flaky", func(context.Context, Config) (Report, error) {
+		if calls.Add(1) < 3 {
+			return Report{}, fmt.Errorf("transient failure %d", calls.Load())
+		}
+		return Report{Notes: []string{"recovered"}}, nil
+	})
+	results := Runner{Workers: 1, Policy: Policy{Retries: 3}}.Run(context.Background(), []Experiment{exp})
+	res := results[0]
+	if res.Err != nil {
+		t.Fatalf("err = %v, want nil after retries", res.Err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Attempts)
+	}
+	if len(res.Report.Notes) != 1 {
+		t.Fatalf("report lost across retries: %+v", res.Report)
+	}
+}
+
+// Retries stop at the budget and the last error is surfaced.
+func TestRunnerRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	exp := stub("broken", func(context.Context, Config) (Report, error) {
+		calls.Add(1)
+		return Report{}, errors.New("permanent failure")
+	})
+	results := Runner{Workers: 1, Policy: Policy{Retries: 2}}.Run(context.Background(), []Experiment{exp})
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("experiment ran %d times, want 3 (1 + 2 retries)", got)
+	}
+	if res := results[0]; res.Err == nil || res.Attempts != 3 {
+		t.Fatalf("err=%v attempts=%d, want error after 3 attempts", res.Err, res.Attempts)
+	}
+}
+
+// ErrSkipped is a deterministic partial result: retrying cannot help, so
+// the runner must not burn the retry budget on it.
+func TestRunnerDoesNotRetrySkipped(t *testing.T) {
+	var calls atomic.Int32
+	exp := stub("partial", func(context.Context, Config) (Report, error) {
+		calls.Add(1)
+		var skips SkipList
+		skips.Skip("n=256: out of memory")
+		return skips.finish(Report{Notes: []string{"partial tables"}})
+	})
+	results := Runner{Workers: 1, Policy: Policy{Retries: 5}}.Run(context.Background(), []Experiment{exp})
+	if calls.Load() != 1 {
+		t.Fatalf("skipped experiment retried %d times", calls.Load()-1)
+	}
+	res := results[0]
+	if !errors.Is(res.Err, ErrSkipped) {
+		t.Fatalf("err = %v, want ErrSkipped", res.Err)
+	}
+	if !strings.Contains(strings.Join(res.Report.Notes, "\n"), "skipped sub-cases") {
+		t.Fatalf("skip list missing from notes: %v", res.Report.Notes)
+	}
+}
+
+// Cancelling the caller's context mid-sweep stops new experiments, drains
+// the rest as cancelled results (so the stream still closes after exactly
+// len(exps) results), and never retries the cancellation.
+func TestRunnerCtxCancelMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	exps := []Experiment{
+		okStub("first"),
+		stub("trigger", func(context.Context, Config) (Report, error) {
+			cancel()
+			return Report{}, nil
+		}),
+		okStub("after"),
+		okStub("last"),
+	}
+	results := Runner{Workers: 1, Policy: Policy{Retries: 5}}.Run(ctx, exps)
+	if len(results) != len(exps) {
+		t.Fatalf("got %d results, want %d (cancelled experiments must still drain)", len(results), len(exps))
+	}
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("pre-cancel results errored: %v, %v", results[0].Err, results[1].Err)
+	}
+	for _, res := range results[2:] {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", res.Experiment.ID, res.Err)
+		}
+		if res.Report.ID != res.Experiment.ID {
+			t.Fatalf("%s: cancelled result not stamped", res.Experiment.ID)
+		}
+	}
+}
+
+// A panicking experiment must not kill the worker; it surfaces as an error
+// and is retried like any failure.
+func TestRunnerRecoversPanics(t *testing.T) {
+	exp := stub("boom", func(context.Context, Config) (Report, error) {
+		panic("table flipped")
+	})
+	results := Runner{Workers: 1}.Run(context.Background(), []Experiment{exp, okStub("next")})
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panicked") {
+		t.Fatalf("panic not surfaced: %v", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("worker died after panic: %v", results[1].Err)
+	}
+}
+
+func TestSeedForSubkeys(t *testing.T) {
+	if SeedFor("T1") != SeedFor("T1") {
+		t.Fatal("SeedFor must be deterministic")
+	}
+	if SeedFor("T1", "n=64") == SeedFor("T1") {
+		t.Fatal("subkey must change the seed")
+	}
+	if SeedFor("T1", "n=64") == SeedFor("T1", "n=32") {
+		t.Fatal("distinct subkeys must differ")
+	}
+	if SeedFor("T1", "n=64") != SeedFor("T1", "n=64") {
+		t.Fatal("subkeyed seeds must be deterministic")
+	}
+	// The NUL join means ("ab", "c") and ("a", "bc") cannot collide.
+	if SeedFor("ab", "c") == SeedFor("a", "bc") {
+		t.Fatal("subkey framing is ambiguous")
 	}
 }
 
@@ -77,25 +336,30 @@ func TestWriteJSON(t *testing.T) {
 			Title: "stub",
 			Notes: []string{"note"},
 		},
+		Err:      fmt.Errorf("wrapped: %w", ErrSkipped),
 		Duration: 1500 * 1000, // 1.5ms in ns
+		Attempts: 2,
 	}
 	var buf bytes.Buffer
-	if err := WriteJSON(&buf, true, 4, []Result{res}); err != nil {
+	if err := WriteJSON(&buf, true, 4, true, []Result{res}); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
 		Mode        string `json:"mode"`
 		Workers     int    `json:"workers"`
+		Partial     bool   `json:"partial"`
 		Experiments []struct {
 			ID         string   `json:"id"`
 			DurationMS float64  `json:"duration_ms"`
+			Attempts   int      `json:"attempts"`
+			Error      string   `json:"error"`
 			Notes      []string `json:"notes"`
 		} `json:"experiments"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	if doc.Mode != "quick" || doc.Workers != 4 {
+	if doc.Mode != "quick" || doc.Workers != 4 || !doc.Partial {
 		t.Fatalf("header wrong: %+v", doc)
 	}
 	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "X1" {
@@ -103,6 +367,9 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if doc.Experiments[0].DurationMS != 1.5 {
 		t.Fatalf("duration_ms = %v, want 1.5", doc.Experiments[0].DurationMS)
+	}
+	if doc.Experiments[0].Attempts != 2 || !strings.Contains(doc.Experiments[0].Error, "skipped") {
+		t.Fatalf("error accounting wrong: %+v", doc.Experiments[0])
 	}
 }
 
@@ -115,9 +382,9 @@ func TestWriteJSONQuickSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results := Runner{Workers: 2, Quick: true}.Run(exps)
+	results := Runner{Workers: 2, Quick: true}.Run(context.Background(), exps)
 	var buf bytes.Buffer
-	if err := WriteJSON(&buf, true, 2, results); err != nil {
+	if err := WriteJSON(&buf, true, 2, false, results); err != nil {
 		t.Fatal(err)
 	}
 	var doc map[string]any
@@ -126,5 +393,8 @@ func TestWriteJSONQuickSuite(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"rows"`) {
 		t.Fatal("JSON results missing table rows")
+	}
+	if _, ok := doc["partial"]; ok {
+		t.Fatal("completed run must not be marked partial")
 	}
 }
