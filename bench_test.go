@@ -19,9 +19,9 @@ import (
 	"gridroute/internal/netsim"
 	"gridroute/internal/optbound"
 	"gridroute/internal/render"
+	"gridroute/internal/scenario"
 	"gridroute/internal/spacetime"
 	"gridroute/internal/tiling"
-	"gridroute/internal/workload"
 )
 
 // --- Table 1 -----------------------------------------------------------------
@@ -29,8 +29,8 @@ import (
 func BenchmarkTable1PriorAlgorithms(b *testing.B) {
 	n := 64
 	g := grid.Line(n, 3, 1)
-	reqs := workload.ConvoyRate(n, 2*n, 1, 1)
-	optLB := workload.ConvoyOPTLowerBound(n, 2*n, 1)
+	reqs := scenario.ConvoyRate(n, 2*n, 1, 1)
+	optLB := scenario.ConvoyOPTLowerBound(n, 2*n, 1)
 	horizon := spacetime.SuggestHorizon(g, reqs, 3)
 	var ratio float64
 	for i := 0; i < b.N; i++ {
@@ -50,7 +50,7 @@ func BenchmarkTable2RandomizedRegimes(b *testing.B) {
 		b.Run(cs.name, func(b *testing.B) {
 			n := 64
 			g := grid.Line(n, cs.b, cs.c)
-			reqs := workload.Uniform(g, 6*n, int64(2*n), rand.New(rand.NewSource(1)))
+			reqs := scenario.Uniform(g, 6*n, int64(2*n), rand.New(rand.NewSource(1)))
 			var tp int
 			for i := 0; i < b.N; i++ {
 				res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5}, rand.New(rand.NewSource(int64(i))))
@@ -105,7 +105,7 @@ func BenchmarkFigure3Untilting(b *testing.B) {
 
 func BenchmarkFigure4SketchCapacities(b *testing.B) {
 	res, err := core.RunDeterministic(grid.Line(64, 3, 3),
-		workload.Uniform(grid.Line(64, 3, 3), 64, 64, rand.New(rand.NewSource(1))), core.DetConfig{})
+		scenario.Uniform(grid.Line(64, 3, 3), 64, 64, rand.New(rand.NewSource(1))), core.DetConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func BenchmarkFigure4SketchCapacities(b *testing.B) {
 
 func BenchmarkFigure5DetailedRouting(b *testing.B) {
 	g := grid.Line(48, 3, 3)
-	reqs := workload.Uniform(g, 4*48, 96, rand.New(rand.NewSource(2)))
+	reqs := scenario.Uniform(g, 4*48, 96, rand.New(rand.NewSource(2)))
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
 		if err != nil || res.RouteStats.Anomalies != 0 {
@@ -147,7 +147,7 @@ func BenchmarkFigure6KnockKnee(b *testing.B) {
 func BenchmarkFigure7Deadlines(b *testing.B) {
 	g := grid.Line(48, 3, 3)
 	rng := rand.New(rand.NewSource(3))
-	reqs := workload.WithDeadlines(g, workload.Uniform(g, 150, 96, rng), 1.5, 8, rng)
+	reqs := scenario.WithDeadlines(g, scenario.Uniform(g, 150, 96, rng), 1.5, 8, rng)
 	var late int
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
@@ -189,7 +189,7 @@ func BenchmarkFigure8Quadrants(b *testing.B) {
 
 func BenchmarkFigure9ITXRouting(b *testing.B) {
 	g := grid.Line(96, 1, 1)
-	reqs := workload.Uniform(g, 8*96, 192, rand.New(rand.NewSource(4)))
+	reqs := scenario.Uniform(g, 8*96, 192, rand.New(rand.NewSource(4)))
 	var tp int
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.25, Branch: 1}, rand.New(rand.NewSource(int64(i))))
@@ -204,7 +204,7 @@ func BenchmarkFigure9ITXRouting(b *testing.B) {
 func BenchmarkFigure10XRouting(b *testing.B) {
 	// Heavy same-tile crossing demand exercises the X quadrant.
 	g := grid.Line(64, 2, 2)
-	reqs := workload.Hotspot(g, 400, 128, 0.3, rand.New(rand.NewSource(5)))
+	reqs := scenario.Hotspot(g, 400, 128, 0.3, rand.New(rand.NewSource(5)))
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.25, Branch: 1}, rand.New(rand.NewSource(7)))
 		if err != nil || res.Anomalies != 0 {
@@ -235,7 +235,7 @@ func BenchmarkFigure12NodeModels(b *testing.B) {
 func BenchmarkThm4DetLine(b *testing.B) {
 	n := 96
 	g := grid.Line(n, 3, 3)
-	reqs := workload.Uniform(g, 5*n, int64(2*n), rand.New(rand.NewSource(6)))
+	reqs := scenario.Uniform(g, 5*n, int64(2*n), rand.New(rand.NewSource(6)))
 	horizon := spacetime.SuggestHorizon(g, reqs, 3)
 	upper, _ := optbound.DualUpperBound(g, reqs, horizon)
 	var ratio float64
@@ -252,7 +252,7 @@ func BenchmarkThm4DetLine(b *testing.B) {
 
 func BenchmarkThm10DetGrid2D(b *testing.B) {
 	g := grid.New([]int{10, 10}, 3, 3)
-	reqs := workload.Uniform(g, 400, 48, rand.New(rand.NewSource(7)))
+	reqs := scenario.Uniform(g, 400, 48, rand.New(rand.NewSource(7)))
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RunDeterministic(g, reqs, core.DetConfig{}); err != nil {
 			b.Fatal(err)
@@ -263,7 +263,7 @@ func BenchmarkThm10DetGrid2D(b *testing.B) {
 func BenchmarkThm11Bufferless(b *testing.B) {
 	n := 96
 	g := grid.Line(n, 0, 3)
-	reqs := workload.Uniform(g, 4*n, int64(2*n), rand.New(rand.NewSource(8)))
+	reqs := scenario.Uniform(g, 4*n, int64(2*n), rand.New(rand.NewSource(8)))
 	opt := optbound.ExactBufferlessLine(g, reqs)
 	var ratio float64
 	b.ResetTimer()
@@ -279,7 +279,7 @@ func BenchmarkThm11Bufferless(b *testing.B) {
 
 func BenchmarkThm13LargeCapacity(b *testing.B) {
 	g := grid.Line(48, 64, 64)
-	reqs := workload.Saturating(g, 6, 3, rand.New(rand.NewSource(9)))
+	reqs := scenario.Saturating(g, 6, 3, rand.New(rand.NewSource(9)))
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunLargeCapacity(g, reqs, core.DetConfig{})
 		if err != nil {
@@ -294,7 +294,7 @@ func BenchmarkThm13LargeCapacity(b *testing.B) {
 func BenchmarkThm29RandLine(b *testing.B) {
 	n := 96
 	g := grid.Line(n, 1, 1)
-	reqs := workload.Uniform(g, 8*n, int64(3*n), rand.New(rand.NewSource(10)))
+	reqs := scenario.Uniform(g, 8*n, int64(3*n), rand.New(rand.NewSource(10)))
 	var tp int
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5}, rand.New(rand.NewSource(int64(i))))
@@ -308,7 +308,7 @@ func BenchmarkThm29RandLine(b *testing.B) {
 
 func BenchmarkThm30LargeBuffers(b *testing.B) {
 	g := grid.Line(64, 98, 1)
-	reqs := workload.Uniform(g, 400, 128, rand.New(rand.NewSource(11)))
+	reqs := scenario.Uniform(g, 400, 128, rand.New(rand.NewSource(11)))
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5, Branch: 1}, rand.New(rand.NewSource(3))); err != nil {
 			b.Fatal(err)
@@ -318,7 +318,7 @@ func BenchmarkThm30LargeBuffers(b *testing.B) {
 
 func BenchmarkThm31SmallBuffers(b *testing.B) {
 	g := grid.Line(64, 2, 64)
-	reqs := workload.Saturating(g, 8, 4, rand.New(rand.NewSource(12)))
+	reqs := scenario.Saturating(g, 8, 4, rand.New(rand.NewSource(12)))
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5, Branch: 1}, rand.New(rand.NewSource(4))); err != nil {
 			b.Fatal(err)
@@ -329,7 +329,7 @@ func BenchmarkThm31SmallBuffers(b *testing.B) {
 func BenchmarkThm1IPP(b *testing.B) {
 	g := grid.Line(64, 3, 3)
 	st := spacetime.New(g, 256)
-	reqs := workload.Uniform(g, 300, 128, rand.New(rand.NewSource(13)))
+	reqs := scenario.Uniform(g, 300, 128, rand.New(rand.NewSource(13)))
 	for i := 0; i < b.N; i++ {
 		sp := optbound.NewSTPacker(st, 3, 3, core.PMaxDet(g))
 		for j := range reqs {
@@ -344,7 +344,7 @@ func BenchmarkThm1IPP(b *testing.B) {
 
 func BenchmarkLemma2PathLengths(b *testing.B) {
 	g := grid.Line(64, 3, 3)
-	reqs := workload.Uniform(g, 300, 128, rand.New(rand.NewSource(14)))
+	reqs := scenario.Uniform(g, 300, 128, rand.New(rand.NewSource(14)))
 	for i := 0; i < b.N; i++ {
 		short, err := core.RunDeterministic(g, reqs, core.DetConfig{PMax: 64})
 		if err != nil {
@@ -362,7 +362,7 @@ func BenchmarkLemma2PathLengths(b *testing.B) {
 
 func BenchmarkProp89DetailedRoutingLoss(b *testing.B) {
 	g := grid.Line(96, 3, 3)
-	reqs := workload.Saturating(g, 8, 2, rand.New(rand.NewSource(15)))
+	reqs := scenario.Saturating(g, 8, 2, rand.New(rand.NewSource(15)))
 	var f1, f2 float64
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
@@ -405,7 +405,7 @@ func BenchmarkProp16Tiling(b *testing.B) {
 
 func BenchmarkAblations(b *testing.B) {
 	g := grid.Line(64, 1, 1)
-	reqs := workload.Uniform(g, 8*64, 192, rand.New(rand.NewSource(16)))
+	reqs := scenario.Uniform(g, 8*64, 192, rand.New(rand.NewSource(16)))
 	for _, gamma := range []float64{0.25, 8} {
 		b.Run("gamma="+itoa(int(gamma*100)), func(b *testing.B) {
 			var tp int
@@ -443,6 +443,30 @@ func BenchmarkK(b *testing.B) {
 		s += ipp.K(4 * 1024)
 	}
 	_ = s
+}
+
+// BenchmarkScenario measures workload-generation cost for every
+// registered scenario at its default parameters — the generation-side
+// counterpart of BenchmarkExperiment (whose E14 timings land in
+// BENCH_experiments.json), so scenario cost shows up in the perf
+// trajectory.
+func BenchmarkScenario(b *testing.B) {
+	for _, sc := range scenario.Registered() {
+		b.Run(sc.ID, func(b *testing.B) {
+			var digest uint64
+			for i := 0; i < b.N; i++ {
+				g, reqs, err := scenario.Generate(sc.ID, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := scenario.Digest(g, reqs)
+				if i > 0 && d != digest {
+					b.Fatal("generation not deterministic")
+				}
+				digest = d
+			}
+		})
+	}
 }
 
 // BenchmarkExperimentsQuick regenerates the full quick-mode EXPERIMENTS

@@ -15,6 +15,7 @@
 //	go run ./cmd/experiments -quick -j 4     # same tables, 4 workers
 //	go run ./cmd/experiments -run 'T[12]'    # only experiments matching the regexp
 //	go run ./cmd/experiments -timeout 2m     # per-experiment attempt timeout
+//	go run ./cmd/experiments -subtimeout 20s # per-sub-case timeout inside sweeps
 //	go run ./cmd/experiments -retries 1      # retry failed experiments once
 //	go run ./cmd/experiments -out FILE       # write markdown to FILE instead of stdout
 //	go run ./cmd/experiments -json FILE      # also write machine-readable results
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.String("json", "", "also write machine-readable results (e.g. BENCH_experiments.json)")
 	list := fs.Bool("list", false, "list registered experiments and exit")
 	timeout := fs.Duration("timeout", 0, "per-experiment attempt timeout (0 = none)")
+	subTimeout := fs.Duration("subtimeout", 0, "per-sub-case timeout within each experiment's sweep (0 = none; overruns surface as skipped sub-cases)")
 	retries := fs.Int("retries", 0, "how many times to re-run a failed experiment")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,7 +91,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	runner := experiments.Runner{
 		Workers: *workers,
 		Quick:   *quick,
-		Policy:  experiments.Policy{Timeout: *timeout, Retries: *retries},
+		Policy:  experiments.Policy{Timeout: *timeout, SubTimeout: *subTimeout, Retries: *retries},
 	}
 
 	mode := "full"

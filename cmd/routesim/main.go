@@ -1,79 +1,149 @@
-// Command routesim runs one routing algorithm on one workload and prints a
-// summary — the quickest way to poke at the library.
+// Command routesim runs one routing algorithm on one workload scenario and
+// prints a summary — the quickest way to poke at the library.
+//
+// Workloads come from the scenario registry (internal/scenario): named,
+// self-describing generators with typed parameters, overridden per run
+// with -p key=val. Generation is byte-deterministic in (scenario, params).
 //
 // Usage examples:
 //
-//	go run ./cmd/routesim -alg det  -n 64 -b 3 -c 3 -reqs 200
-//	go run ./cmd/routesim -alg rand -n 128 -b 1 -c 1 -reqs 500 -gamma 0.5
-//	go run ./cmd/routesim -alg greedy -n 64 -b 2 -c 1 -workload convoy
+//	go run ./cmd/routesim -list-scenarios
+//	go run ./cmd/routesim -alg det  -scenario uniform -p n=64 -p reqs=200
+//	go run ./cmd/routesim -alg rand -scenario zipf-hotspot -p b=1 -p c=1 -gamma 0.5
+//	go run ./cmd/routesim -alg greedy -scenario convoy -p n=64 -p c=1
+//	go run ./cmd/routesim -scenario lattice3d-uniform -dump   # print the requests
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	"gridroute"
 )
 
-func main() {
-	alg := flag.String("alg", "det", "algorithm: det | rand | thm13 | greedy | ntg")
-	n := flag.Int("n", 64, "line length (or grid side with -d 2)")
-	d := flag.Int("d", 1, "grid dimension (1 or 2)")
-	b := flag.Int("b", 3, "buffer size B")
-	c := flag.Int("c", 3, "link capacity c")
-	numReqs := flag.Int("reqs", 200, "number of requests (uniform workload)")
-	wl := flag.String("workload", "uniform", "workload: uniform | saturating | convoy")
-	seed := flag.Int64("seed", 1, "rng seed")
-	gamma := flag.Float64("gamma", 0, "randomized algorithm sparsification γ (0 = paper's 200)")
-	flag.Parse()
+// algorithms maps -alg names to router constructors. seed and gamma feed
+// the randomized algorithm only.
+var algorithms = map[string]func(seed int64, gamma float64) gridroute.Router{
+	"det":    func(int64, float64) gridroute.Router { return gridroute.Deterministic() },
+	"rand":   func(seed int64, gamma float64) gridroute.Router { return gridroute.RandomizedWith(seed, gamma, 0) },
+	"thm13":  func(int64, float64) gridroute.Router { return gridroute.LargeCapacity() },
+	"greedy": func(int64, float64) gridroute.Router { return gridroute.Greedy() },
+	"ntg":    func(int64, float64) gridroute.Router { return gridroute.NearestToGo() },
+}
 
-	var g *gridroute.Grid
-	if *d == 2 {
-		g = gridroute.NewGrid([]int{*n, *n}, *b, *c)
-	} else {
-		g = gridroute.NewLine(*n, *b, *c)
+func algNames() string {
+	names := make([]string, 0, len(algorithms))
+	for name := range algorithms {
+		names = append(names, name)
 	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
 
-	var reqs []gridroute.Request
-	switch *wl {
-	case "saturating":
-		reqs = gridroute.SaturatingWorkload(g, 8, 2, *seed)
-	case "convoy":
-		reqs = gridroute.ConvoyWorkload(*n, 2**n, *c, 1)
-		g = gridroute.NewLine(*n, *b, *c)
-	default:
-		reqs = gridroute.UniformWorkload(g, *numReqs, int64(2**n), *seed)
+// paramFlags collects repeated -p key=val overrides.
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string { return "" }
+
+func (p paramFlags) Set(s string) error {
+	key, val, ok := strings.Cut(s, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=val, got %q", s)
 	}
-
-	var router gridroute.Router
-	switch *alg {
-	case "rand":
-		router = gridroute.RandomizedWith(*seed, *gamma, 0)
-	case "thm13":
-		router = gridroute.LargeCapacity()
-	case "greedy":
-		router = gridroute.Greedy()
-	case "ntg":
-		router = gridroute.NearestToGo()
-	default:
-		router = gridroute.Deterministic()
-	}
-
-	res, err := router.Route(g, reqs)
+	v, err := strconv.ParseFloat(val, 64)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return fmt.Errorf("parameter %s: %v", key, err)
 	}
-	fmt.Printf("algorithm   %s\n", res.Algorithm)
-	fmt.Printf("requests    %d\n", res.Requests)
-	fmt.Printf("admitted    %d\n", res.Admitted)
-	fmt.Printf("delivered   %d\n", res.Throughput)
-	fmt.Printf("violations  %d\n", len(res.Violations))
+	p[key] = v
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus process-global state: it parses args, generates the
+// scenario, routes it, and returns the exit code (0 success, 1 routing
+// failure, 2 usage error — unknown algorithm, scenario or parameter).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("routesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	alg := fs.String("alg", "det", "algorithm: "+algNames())
+	sc := fs.String("scenario", "uniform", "workload scenario ID (see -list-scenarios)")
+	params := paramFlags{}
+	fs.Var(params, "p", "scenario parameter override key=val (repeatable)")
+	seed := fs.Int64("seed", 0, "rng seed for scenario generation and the randomized algorithm (0 = scenario default stream)")
+	gamma := fs.Float64("gamma", 0, "randomized algorithm sparsification γ (0 = paper's 200)")
+	list := fs.Bool("list-scenarios", false, "list registered scenarios with their parameters and exit")
+	dump := fs.Bool("dump", false, "print the generated requests instead of routing (determinism witness)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, info := range gridroute.Scenarios() {
+			fmt.Fprintf(stdout, "%-20s %s [%s]\n", info.ID, info.Title, strings.Join(info.Tags, " "))
+			for _, p := range info.Params {
+				fmt.Fprintf(stdout, "    -p %-12s %v (default) — %s\n", p.Name, p.Default, p.Doc)
+			}
+		}
+		return 0
+	}
+
+	mkRouter, ok := algorithms[*alg]
+	if !ok {
+		fmt.Fprintf(stderr, "unknown algorithm %q (known: %s)\n", *alg, algNames())
+		return 2
+	}
+	if *seed != 0 {
+		// Parameters travel as float64; refuse seeds the conversion would
+		// silently collapse (distinct seeds must name distinct streams).
+		if int64(float64(*seed)) != *seed {
+			fmt.Fprintf(stderr, "seed %d exceeds exact float64 range (±2^53); pick a smaller seed\n", *seed)
+			return 2
+		}
+		if _, dup := params["seed"]; !dup {
+			params["seed"] = float64(*seed)
+		}
+	}
+
+	g, reqs, err := gridroute.GenerateScenario(*sc, params)
+	if err != nil {
+		// Unknown scenario IDs and bad parameters are usage errors; the
+		// message already lists the valid choices.
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "scenario    %s (%d requests, grid %v, B=%d, c=%d)\n",
+		*sc, len(reqs), g.Dims, g.B, g.C)
+
+	if *dump {
+		for i := range reqs {
+			fmt.Fprintf(stdout, "%v\n", &reqs[i])
+		}
+		return 0
+	}
+
+	res, err := mkRouter(*seed, *gamma).Route(g, reqs)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "algorithm   %s\n", res.Algorithm)
+	fmt.Fprintf(stdout, "requests    %d\n", res.Requests)
+	fmt.Fprintf(stdout, "admitted    %d\n", res.Admitted)
+	fmt.Fprintf(stdout, "delivered   %d\n", res.Throughput)
+	fmt.Fprintf(stdout, "violations  %d\n", len(res.Violations))
 	T := gridroute.SuggestHorizon(g, reqs, 3)
 	upper, witness := gridroute.DualUpperBound(g, reqs, T)
-	fmt.Printf("OPT ≤ %.1f (certified dual bound; certifying packer itself routed %d)\n", upper, witness)
+	fmt.Fprintf(stdout, "OPT ≤ %.1f (certified dual bound; certifying packer itself routed %d)\n", upper, witness)
 	if res.Throughput > 0 {
-		fmt.Printf("certified competitive ratio ≤ %.2f\n", upper/float64(res.Throughput))
+		fmt.Fprintf(stdout, "certified competitive ratio ≤ %.2f\n", upper/float64(res.Throughput))
 	}
+	return 0
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownAlgorithmExits2ListingKnown(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-alg", "bogus"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	for _, name := range []string{"det", "rand", "thm13", "greedy", "ntg"} {
+		if !strings.Contains(errb.String(), name) {
+			t.Fatalf("stderr must list %q, got: %s", name, errb.String())
+		}
+	}
+}
+
+func TestUnknownScenarioExits2ListingKnown(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-scenario", "bogus"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "uniform") || !strings.Contains(errb.String(), "appendixf-model2") {
+		t.Fatalf("stderr must list known scenarios, got: %s", errb.String())
+	}
+}
+
+func TestUnknownParameterExits2(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-scenario", "uniform", "-p", "bogus=3"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "known:") {
+		t.Fatalf("stderr must list known parameters, got: %s", errb.String())
+	}
+}
+
+func TestMalformedParameterExits2(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-p", "noequals"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list-scenarios"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	lines := 0
+	for _, l := range strings.Split(out.String(), "\n") {
+		if l != "" && !strings.HasPrefix(l, " ") {
+			lines++
+		}
+	}
+	if lines < 14 {
+		t.Fatalf("catalog lists %d scenarios, want ≥ 14:\n%s", lines, out.String())
+	}
+}
+
+func TestDumpIsDeterministic(t *testing.T) {
+	var a, b, errb strings.Builder
+	if code := run([]string{"-scenario", "heavy-pareto", "-dump", "-seed", "3"}, &a, &errb); code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errb.String())
+	}
+	if code := run([]string{"-scenario", "heavy-pareto", "-dump", "-seed", "3"}, &b, &errb); code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errb.String())
+	}
+	if a.String() != b.String() {
+		t.Fatal("dump output differs between runs")
+	}
+	if len(strings.Split(strings.TrimSpace(a.String()), "\n")) < 10 {
+		t.Fatalf("dump suspiciously short:\n%s", a.String())
+	}
+}
+
+func TestEndToEndGreedyOnConvoy(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-alg", "greedy", "-scenario", "convoy", "-p", "n=32", "-p", "c=1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "delivered") || !strings.Contains(out.String(), "OPT ≤") {
+		t.Fatalf("summary missing fields:\n%s", out.String())
+	}
+}
+
+func TestSeedBeyondFloat64PrecisionExits2(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scenario", "uniform", "-seed", "9007199254740993"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "2^53") {
+		t.Fatalf("stderr must explain the precision limit, got: %s", errb.String())
+	}
+}

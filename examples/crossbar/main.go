@@ -13,9 +13,14 @@ import (
 )
 
 func main() {
-	// An 8×8 crossbar: packets enter on the west edge and exit at a
-	// row/column crossing point. Load 0.7 packets per ingress per cycle.
-	g, reqs := gridroute.CrossbarWorkload(8, 3, 3, 32, 0.7, 7)
+	// The "crossbar" scenario: packets enter an 8×8 grid on the west edge
+	// and exit at a row/column crossing point. Load 0.7 per ingress/cycle.
+	g, reqs, err := gridroute.GenerateScenario("crossbar", map[string]float64{
+		"n": 8, "rounds": 32, "load": 0.7, "seed": 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("crossbar 8x8, %d cells injected\n", len(reqs))
 
 	det, err := gridroute.Deterministic().Route(g, reqs)

@@ -12,12 +12,15 @@ import (
 )
 
 func main() {
-	g := gridroute.NewLine(48, 3, 3)
-
-	// Random traffic, then attach deadlines at 1.5× the shortest route
-	// (plus small jitter) — tight enough that buffering detours matter.
-	base := gridroute.UniformWorkload(g, 180, 96, 11)
-	reqs := gridroute.DeadlineWorkload(g, base, 1.5, 6, 11)
+	// The "uniform-deadline" scenario: random traffic with deadlines at
+	// 1.5× the shortest route (plus small jitter) — tight enough that
+	// buffering detours matter.
+	g, reqs, err := gridroute.GenerateScenario("uniform-deadline", map[string]float64{
+		"n": 48, "reqs": 180, "maxt": 96, "slack": 1.5, "jitter": 6, "seed": 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	res, err := gridroute.Deterministic().Route(g, reqs)
 	if err != nil {

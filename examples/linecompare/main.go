@@ -12,8 +12,13 @@ import (
 
 func main() {
 	const n = 128
-	g := gridroute.NewLine(n, 1, 1) // unit buffers, unit capacities!
-	reqs := gridroute.UniformWorkload(g, 800, 256, 3)
+	// Unit buffers, unit capacities! The "uniform" scenario with b = c = 1.
+	g, reqs, err := gridroute.GenerateScenario("uniform", map[string]float64{
+		"n": n, "b": 1, "c": 1, "reqs": 800, "maxt": 256, "seed": 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	T := gridroute.SuggestHorizon(g, reqs, 3)
 	upper, _ := gridroute.DualUpperBound(g, reqs, T)

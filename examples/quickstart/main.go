@@ -11,12 +11,15 @@ import (
 )
 
 func main() {
-	// A 64-node uni-directional line; every node buffers B = 3 packets and
-	// every link carries c = 3 packets per time step.
-	g := gridroute.NewLine(64, 3, 3)
-
-	// 200 random requests arriving online over 128 time steps.
-	reqs := gridroute.UniformWorkload(g, 200, 128, 42)
+	// The "uniform" scenario from the registry: a 64-node uni-directional
+	// line (B = c = 3) with 200 random requests arriving online over 128
+	// time steps. Run `routesim -list-scenarios` for the whole catalog.
+	g, reqs, err := gridroute.GenerateScenario("uniform", map[string]float64{
+		"n": 64, "reqs": 200, "maxt": 128, "seed": 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The deterministic Even–Medina algorithm: admission control via online
 	// path packing over space-time tiles, then detailed routing with

@@ -14,11 +14,15 @@
 //
 // Quick start:
 //
-//	g := gridroute.NewLine(64, 3, 3)          // 64 nodes, B = c = 3
-//	reqs := gridroute.UniformWorkload(g, 200, 128, 1)
+//	g, reqs, _ := gridroute.GenerateScenario("uniform", nil) // 64-node line, B = c = 3
 //	res, err := gridroute.Deterministic().Route(g, reqs)
 //	// res.Throughput packets delivered; res.Violations is empty —
 //	// every schedule was replayed on the simulated network.
+//
+// Workloads come from a registry of named scenarios (Scenarios lists them;
+// routesim -list-scenarios prints the catalog) spanning random, bursty,
+// heavy-tailed, permutation and adversarial traffic on lines, 2-d grids
+// and 3-d lattices.
 package gridroute
 
 import (
@@ -30,8 +34,8 @@ import (
 	"gridroute/internal/grid"
 	"gridroute/internal/netsim"
 	"gridroute/internal/optbound"
+	"gridroute/internal/scenario"
 	"gridroute/internal/spacetime"
-	"gridroute/internal/workload"
 )
 
 // Grid is a uni-directional d-dimensional grid network (vertices
@@ -217,28 +221,45 @@ func SuggestHorizon(g *Grid, reqs []Request, slack int) int64 {
 	return spacetime.SuggestHorizon(g, reqs, slack)
 }
 
-// UniformWorkload draws uniformly random requests (sorted by arrival).
-func UniformWorkload(g *Grid, numReq int, maxT int64, seed int64) []Request {
-	return workload.Uniform(g, numReq, maxT, rand.New(rand.NewSource(seed)))
+// ScenarioParam is one typed parameter of a registered scenario: name,
+// documentation, default and validity range.
+type ScenarioParam = scenario.Param
+
+// ScenarioInfo describes one registered workload scenario.
+type ScenarioInfo struct {
+	ID     string
+	Title  string
+	Tags   []string
+	Params []ScenarioParam
 }
 
-// SaturatingWorkload floods every node with bursts each round.
-func SaturatingWorkload(g *Grid, rounds, burst int, seed int64) []Request {
-	return workload.Saturating(g, rounds, burst, rand.New(rand.NewSource(seed)))
+// Scenarios returns the catalog of registered workload scenarios, sorted
+// by ID. Each is runnable via GenerateScenario (and `routesim -scenario`).
+func Scenarios() []ScenarioInfo {
+	scs := scenario.Registered()
+	out := make([]ScenarioInfo, len(scs))
+	for i, s := range scs {
+		out[i] = ScenarioInfo{
+			ID:     s.ID,
+			Title:  s.Title,
+			Tags:   append([]string(nil), s.Tags...),
+			Params: append([]ScenarioParam(nil), s.Params...),
+		}
+	}
+	return out
 }
 
-// DeadlineWorkload adds feasible deadlines (slack ≥ 1) to a workload.
-func DeadlineWorkload(g *Grid, reqs []Request, slack float64, jitter int64, seed int64) []Request {
-	return workload.WithDeadlines(g, reqs, slack, jitter, rand.New(rand.NewSource(seed)))
-}
-
-// CrossbarWorkload emulates input-queued switch traffic on an ℓ×ℓ grid.
-func CrossbarWorkload(l, b, c, rounds int, load float64, seed int64) (*Grid, []Request) {
-	return workload.Crossbar(l, b, c, rounds, load, rand.New(rand.NewSource(seed)))
-}
-
-// ConvoyWorkload is the adversarial convoy instance behind Table 1's greedy
-// lower bound: `rate` long-haul packets per step plus short hops everywhere.
-func ConvoyWorkload(n, rounds, rate, shortEvery int) []Request {
-	return workload.ConvoyRate(n, rounds, rate, shortEvery)
+// GenerateScenario builds the grid and request sequence of a registered
+// scenario. opts overrides the scenario's typed parameters (unknown names
+// and out-of-range values are errors); the implicit "seed" parameter
+// selects a different random stream, with generation a pure function of
+// (id, opts) — byte-identical on every machine.
+//
+// The former UniformWorkload/SaturatingWorkload/DeadlineWorkload/
+// CrossbarWorkload/ConvoyWorkload helpers were replaced by the scenario
+// catalog: e.g. UniformWorkload(g, 200, 128, seed) on a 64-node line is
+// now GenerateScenario("uniform", map[string]float64{"n": 64, "reqs": 200,
+// "maxt": 128, "seed": float64(seed)}).
+func GenerateScenario(id string, opts map[string]float64) (*Grid, []Request, error) {
+	return scenario.Generate(id, opts)
 }

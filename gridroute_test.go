@@ -4,9 +4,19 @@ import (
 	"testing"
 )
 
+// genScenario is the test-side shorthand for GenerateScenario with
+// overrides; it fails the test on any resolution/generation error.
+func genScenario(t *testing.T, id string, opts map[string]float64) (*Grid, []Request) {
+	t.Helper()
+	g, reqs, err := GenerateScenario(id, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, reqs
+}
+
 func TestPublicAPIDeterministic(t *testing.T) {
-	g := NewLine(48, 3, 3)
-	reqs := UniformWorkload(g, 150, 96, 1)
+	g, reqs := genScenario(t, "uniform", map[string]float64{"n": 48, "reqs": 150, "maxt": 96, "seed": 1})
 	res, err := Deterministic().Route(g, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -27,8 +37,7 @@ func TestPublicAPIDeterministic(t *testing.T) {
 }
 
 func TestPublicAPIRandomized(t *testing.T) {
-	g := NewLine(64, 1, 1)
-	reqs := UniformWorkload(g, 400, 128, 2)
+	g, reqs := genScenario(t, "uniform", map[string]float64{"n": 64, "b": 1, "c": 1, "reqs": 400, "maxt": 128, "seed": 2})
 	res, err := RandomizedWith(7, 0.5, 1).Route(g, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -42,8 +51,7 @@ func TestPublicAPIRandomized(t *testing.T) {
 }
 
 func TestPublicAPIBaselines(t *testing.T) {
-	g := NewLine(32, 2, 1)
-	reqs := UniformWorkload(g, 60, 64, 3)
+	g, reqs := genScenario(t, "uniform", map[string]float64{"n": 32, "b": 2, "c": 1, "reqs": 60, "maxt": 64, "seed": 3})
 	for _, r := range []Router{Greedy(), NearestToGo()} {
 		res, err := r.Route(g, reqs)
 		if err != nil {
@@ -56,8 +64,7 @@ func TestPublicAPIBaselines(t *testing.T) {
 }
 
 func TestPublicAPILargeCapacity(t *testing.T) {
-	g := NewLine(16, 64, 64)
-	reqs := SaturatingWorkload(g, 4, 6, 4)
+	g, reqs := genScenario(t, "saturating", map[string]float64{"n": 16, "b": 64, "c": 64, "rounds": 4, "burst": 6, "seed": 4})
 	res, err := LargeCapacity().Route(g, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +78,7 @@ func TestPublicAPILargeCapacity(t *testing.T) {
 }
 
 func TestPublicAPICrossbar(t *testing.T) {
-	g, reqs := CrossbarWorkload(8, 3, 3, 12, 0.5, 5)
+	g, reqs := genScenario(t, "crossbar", map[string]float64{"n": 8, "rounds": 12, "load": 0.5, "seed": 5})
 	res, err := Deterministic().Route(g, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -82,14 +89,26 @@ func TestPublicAPICrossbar(t *testing.T) {
 }
 
 func TestPublicAPIDeadlines(t *testing.T) {
-	g := NewLine(32, 3, 3)
-	reqs := DeadlineWorkload(g, UniformWorkload(g, 80, 64, 6), 2.0, 8, 6)
+	g, reqs := genScenario(t, "uniform-deadline", map[string]float64{"n": 32, "reqs": 80, "maxt": 64, "slack": 2, "jitter": 8, "seed": 6})
 	res, err := Deterministic().Route(g, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Violations) != 0 {
 		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}
+
+func TestPublicAPIScenarioCatalog(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 14 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 14", len(scs))
+	}
+	if _, _, err := GenerateScenario("no-such", nil); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	if _, _, err := GenerateScenario("uniform", map[string]float64{"bogus": 1}); err == nil {
+		t.Fatal("unknown parameter must error")
 	}
 }
 

@@ -7,13 +7,13 @@ import (
 	"gridroute/internal/grid"
 	"gridroute/internal/netsim"
 	"gridroute/internal/optbound"
-	"gridroute/internal/workload"
+	"gridroute/internal/scenario"
 )
 
 func TestDetLineRandomWorkload(t *testing.T) {
 	g := grid.Line(48, 3, 3)
 	rng := rand.New(rand.NewSource(1))
-	reqs := workload.Uniform(g, 160, 96, rng)
+	reqs := scenario.Uniform(g, 160, 96, rng)
 	res, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +44,7 @@ func TestDetLineRandomWorkload(t *testing.T) {
 func TestDetLineSaturating(t *testing.T) {
 	g := grid.Line(32, 3, 3)
 	rng := rand.New(rand.NewSource(2))
-	reqs := workload.Saturating(g, 8, 2, rng)
+	reqs := scenario.Saturating(g, 8, 2, rng)
 	res, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -68,8 +68,8 @@ func TestDetLineSaturating(t *testing.T) {
 func TestDetLineDeadlines(t *testing.T) {
 	g := grid.Line(32, 3, 3)
 	rng := rand.New(rand.NewSource(3))
-	base := workload.Uniform(g, 120, 64, rng)
-	reqs := workload.WithDeadlines(g, base, 2.0, 16, rng)
+	base := scenario.Uniform(g, 120, 64, rng)
+	reqs := scenario.WithDeadlines(g, base, 2.0, 16, rng)
 	res, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestDetLineDeadlines(t *testing.T) {
 func TestDetBufferlessLine(t *testing.T) {
 	g := grid.Line(32, 0, 3)
 	rng := rand.New(rand.NewSource(4))
-	reqs := workload.Uniform(g, 100, 64, rng)
+	reqs := scenario.Uniform(g, 100, 64, rng)
 	res, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +128,7 @@ func TestDetBufferlessLine(t *testing.T) {
 func TestDetGrid2D(t *testing.T) {
 	g := grid.New([]int{12, 12}, 3, 3)
 	rng := rand.New(rand.NewSource(5))
-	reqs := workload.Uniform(g, 120, 48, rng)
+	reqs := scenario.Uniform(g, 120, 48, rng)
 	res, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -165,7 +165,7 @@ func TestLargeCapacity(t *testing.T) {
 	// B = c = 64 ≥ k for a small line.
 	g := grid.Line(16, 64, 64)
 	rng := rand.New(rand.NewSource(6))
-	reqs := workload.Saturating(g, 6, 8, rng)
+	reqs := scenario.Saturating(g, 6, 8, rng)
 	res, err := RunLargeCapacity(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)

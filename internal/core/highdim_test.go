@@ -6,14 +6,14 @@ import (
 
 	"gridroute/internal/grid"
 	"gridroute/internal/netsim"
-	"gridroute/internal/workload"
+	"gridroute/internal/scenario"
 )
 
 // Theorem 10 is stated for every constant d; exercise d = 3 end to end.
 func TestDetGrid3D(t *testing.T) {
 	g := grid.New([]int{5, 5, 5}, 3, 3)
 	rng := rand.New(rand.NewSource(31))
-	reqs := workload.Uniform(g, 150, 32, rng)
+	reqs := scenario.Uniform(g, 150, 32, rng)
 	res, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +36,7 @@ func TestDetGrid3D(t *testing.T) {
 func TestDet2DInteriorCapacity(t *testing.T) {
 	g := grid.New([]int{9, 9}, 3, 3)
 	rng := rand.New(rand.NewSource(32))
-	reqs := workload.Hotspot(g, 120, 24, 0.34, rng)
+	reqs := scenario.Hotspot(g, 120, 24, 0.34, rng)
 	res, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +55,7 @@ func TestDet2DInteriorCapacity(t *testing.T) {
 func TestDetBufferless2D(t *testing.T) {
 	g := grid.New([]int{8, 8}, 0, 3)
 	rng := rand.New(rand.NewSource(33))
-	reqs := workload.Uniform(g, 120, 32, rng)
+	reqs := scenario.Uniform(g, 120, 32, rng)
 	res, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestDetBufferless2D(t *testing.T) {
 func TestDetRectangularGrid(t *testing.T) {
 	g := grid.New([]int{16, 4}, 3, 3)
 	rng := rand.New(rand.NewSource(34))
-	reqs := workload.Uniform(g, 100, 32, rng)
+	reqs := scenario.Uniform(g, 100, 32, rng)
 	res, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestDetRectangularGrid(t *testing.T) {
 // Deterministic runs are reproducible: same inputs, same outputs.
 func TestDetDeterminism(t *testing.T) {
 	g := grid.Line(40, 3, 3)
-	reqs := workload.Uniform(g, 150, 64, rand.New(rand.NewSource(35)))
+	reqs := scenario.Uniform(g, 150, 64, rand.New(rand.NewSource(35)))
 	a, err := RunDeterministic(g, reqs, DetConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +120,7 @@ func TestDetDeterminism(t *testing.T) {
 // Randomized runs with the same seed are reproducible too.
 func TestRandDeterminismPerSeed(t *testing.T) {
 	g := grid.Line(48, 1, 1)
-	reqs := workload.Uniform(g, 200, 64, rand.New(rand.NewSource(36)))
+	reqs := scenario.Uniform(g, 200, 64, rand.New(rand.NewSource(36)))
 	run := func() int {
 		res, err := RunRandomized(g, reqs, RandConfig{Gamma: 0.5}, rand.New(rand.NewSource(9)))
 		if err != nil {

@@ -6,7 +6,7 @@ import (
 
 	"gridroute/internal/grid"
 	"gridroute/internal/netsim"
-	"gridroute/internal/workload"
+	"gridroute/internal/scenario"
 )
 
 func TestRandParamsRegimes(t *testing.T) {
@@ -94,7 +94,7 @@ func runRand(t *testing.T, g *grid.Grid, reqs []grid.Request, cfg RandConfig, se
 func TestRandomizedFarBranchB1C1(t *testing.T) {
 	g := grid.Line(64, 1, 1)
 	rng := rand.New(rand.NewSource(7))
-	reqs := workload.Uniform(g, 600, 128, rng)
+	reqs := scenario.Uniform(g, 600, 128, rng)
 	res := runRand(t, g, reqs, RandConfig{Gamma: 0.5, Branch: 1}, 1)
 	if res.Regime != RegimeSmall {
 		t.Fatalf("regime %v", res.Regime)
@@ -114,7 +114,7 @@ func TestRandomizedFarBranchB1C1(t *testing.T) {
 func TestRandomizedNearBranch(t *testing.T) {
 	g := grid.Line(64, 2, 2)
 	rng := rand.New(rand.NewSource(8))
-	reqs := workload.Uniform(g, 400, 128, rng)
+	reqs := scenario.Uniform(g, 400, 128, rng)
 	res := runRand(t, g, reqs, RandConfig{Branch: 2}, 2)
 	if res.NearTotal == 0 {
 		t.Skip("no near requests drawn (possible with unlucky shifts)")
@@ -136,7 +136,7 @@ func TestRandomizedNearBranch(t *testing.T) {
 func TestRandomizedFairCoin(t *testing.T) {
 	g := grid.Line(64, 1, 1)
 	rng := rand.New(rand.NewSource(9))
-	reqs := workload.Uniform(g, 300, 64, rng)
+	reqs := scenario.Uniform(g, 300, 64, rng)
 	far, near := 0, 0
 	for seed := int64(0); seed < 20; seed++ {
 		res := runRand(t, g, reqs, RandConfig{Gamma: 0.5}, seed)
@@ -155,7 +155,7 @@ func TestRandomizedLargeBuffers(t *testing.T) {
 	// n=64 → log n = 6; B = 64, c = 1 → B/c = 64 ≥ log n.
 	g := grid.Line(64, 64, 1)
 	rng := rand.New(rand.NewSource(10))
-	reqs := workload.Uniform(g, 400, 128, rng)
+	reqs := scenario.Uniform(g, 400, 128, rng)
 	res := runRand(t, g, reqs, RandConfig{Gamma: 0.5, Branch: 1}, 3)
 	if res.Regime != RegimeLargeBuffers {
 		t.Fatalf("regime %v, want large-buffers", res.Regime)
@@ -169,7 +169,7 @@ func TestRandomizedLargeCapacity(t *testing.T) {
 	// n=64 → log n = 6; B = 2, c = 64.
 	g := grid.Line(64, 2, 64)
 	rng := rand.New(rand.NewSource(11))
-	reqs := workload.Saturating(g, 8, 4, rng)
+	reqs := scenario.Saturating(g, 8, 4, rng)
 	res := runRand(t, g, reqs, RandConfig{Gamma: 0.5, Branch: 1}, 4)
 	if res.Regime != RegimeLargeCapacity {
 		t.Fatalf("regime %v, want large-capacity", res.Regime)
@@ -199,7 +199,7 @@ func TestRandomizedRejects2D(t *testing.T) {
 func TestRandomizedFaithfulGamma(t *testing.T) {
 	g := grid.Line(64, 1, 1)
 	rng := rand.New(rand.NewSource(12))
-	reqs := workload.Uniform(g, 500, 64, rng)
+	reqs := scenario.Uniform(g, 500, 64, rng)
 	res := runRand(t, g, reqs, RandConfig{Branch: 1}, 5)
 	if res.Lambda <= 0 || res.Lambda > 0.01 {
 		t.Fatalf("faithful λ = %v out of range", res.Lambda)
@@ -214,7 +214,7 @@ func TestRandomizedFaithfulGamma(t *testing.T) {
 func TestFarPlusFractionNearQuarter(t *testing.T) {
 	g := grid.Line(128, 2, 2)
 	rng := rand.New(rand.NewSource(13))
-	reqs := workload.Uniform(g, 500, 256, rng)
+	reqs := scenario.Uniform(g, 500, 256, rng)
 	totFar, totFarPlus := 0, 0
 	for seed := int64(0); seed < 30; seed++ {
 		res := runRand(t, g, reqs, RandConfig{Gamma: 0.5, Branch: 1}, seed)

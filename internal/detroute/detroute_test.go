@@ -6,10 +6,10 @@ import (
 
 	"gridroute/internal/grid"
 	"gridroute/internal/ipp"
+	"gridroute/internal/scenario"
 	"gridroute/internal/sketch"
 	"gridroute/internal/spacetime"
 	"gridroute/internal/tiling"
-	"gridroute/internal/workload"
 )
 
 // harness builds a line space-time lattice with square tiles of side k and
@@ -120,7 +120,7 @@ func TestFirstSegmentPreemption(t *testing.T) {
 func TestTrackDiscipline(t *testing.T) {
 	h := newHarness(48, 3, 3, 256, 5)
 	rng := rand.New(rand.NewSource(2))
-	reqs := workload.Saturating(h.g, 6, 2, rng)
+	reqs := scenario.Saturating(h.g, 6, 2, rng)
 	adm := h.admit(t, reqs)
 	outs, stats := h.rt.Run(adm)
 	if stats.Anomalies != 0 {
@@ -152,7 +152,7 @@ func TestTrackDiscipline(t *testing.T) {
 func TestLossAccounting(t *testing.T) {
 	h := newHarness(64, 3, 3, 384, 5)
 	rng := rand.New(rand.NewSource(3))
-	reqs := workload.Uniform(h.g, 300, 128, rng)
+	reqs := scenario.Uniform(h.g, 300, 128, rng)
 	adm := h.admit(t, reqs)
 	outs, stats := h.rt.Run(adm)
 	if stats.Injected != len(adm) {
@@ -184,7 +184,7 @@ func TestLossAccounting(t *testing.T) {
 func TestDropPartsConsistent(t *testing.T) {
 	h := newHarness(48, 3, 3, 256, 4)
 	rng := rand.New(rand.NewSource(4))
-	reqs := workload.Saturating(h.g, 8, 3, rng)
+	reqs := scenario.Saturating(h.g, 8, 3, rng)
 	adm := h.admit(t, reqs)
 	outs, _ := h.rt.Run(adm)
 	for i, o := range outs {

@@ -2,13 +2,14 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
 	"gridroute/internal/optbound"
+	"gridroute/internal/scenario"
 	"gridroute/internal/spacetime"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
 func init() {
@@ -31,7 +32,7 @@ func runAblations(ctx context.Context, cfg Config) (Report, error) {
 	// E13a: the sparsification constant γ and the load cap, on one shared
 	// instance against one shared certificate.
 	g := grid.Line(n, 1, 1)
-	reqs := workload.Uniform(g, 8*n, int64(3*n), cfg.SubRNG("rand/uniform"))
+	reqs := scenario.Uniform(g, 8*n, int64(3*n), cfg.SubRNG("rand/uniform"))
 	horizon := spacetime.SuggestHorizon(g, reqs, 3)
 	upper, _ := optbound.DualUpperBound(g, reqs, horizon)
 	type knob struct {
@@ -43,22 +44,24 @@ func runAblations(ctx context.Context, cfg Config) (Report, error) {
 			knobs = append(knobs, knob{gamma, lc})
 		}
 	}
-	randSlots := make([]*core.RandResult, len(knobs))
-	err := cfg.Sweep(ctx, len(knobs), func(i int) {
+	randSlots, timedOut, err := SweepResults(ctx, cfg, &skips, len(knobs), func(i int, skip func(string, ...any)) *core.RandResult {
 		kn := knobs[i]
 		// One coin stream for every knob: rows differ only through γ/cap.
 		res, err := core.RunRandomized(g, reqs,
 			core.RandConfig{Horizon: horizon, Gamma: kn.gamma, LoadCap: kn.loadCap, Branch: 1},
 			cfg.SubRNG("rand/coins"))
 		if err != nil {
-			skips.Skip("E13a gamma=%v loadcap=%v: %v", kn.gamma, kn.loadCap, err)
-			return
+			skip("E13a gamma=%v loadcap=%v: %v", kn.gamma, kn.loadCap, err)
+			return nil
 		}
-		randSlots[i] = res
+		return res
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut, func(i int) string {
+		return fmt.Sprintf("E13a gamma=%v loadcap=%v", knobs[i].gamma, knobs[i].loadCap)
+	})
 	t := stats.NewTable("E13a: sparsification constant γ (λ = 1/(γk)) and load cap",
 		"γ", "load cap", "delivered", "ratio vs dual upper")
 	for i, kn := range knobs {
@@ -72,7 +75,7 @@ func runAblations(ctx context.Context, cfg Config) (Report, error) {
 	// E13b: tile side ablation for the deterministic algorithm (Sec. 3.3
 	// footnote: rectangular vs square tiles trade a log factor).
 	g2 := grid.Line(n, 3, 3)
-	reqs2 := workload.Uniform(g2, 6*n, int64(2*n), cfg.SubRNG("det/uniform"))
+	reqs2 := scenario.Uniform(g2, 6*n, int64(2*n), cfg.SubRNG("det/uniform"))
 	upper2, _ := optbound.DualUpperBound(g2, reqs2, spacetime.SuggestHorizon(g2, reqs2, 3))
 	k0 := core.TileSideDet(core.PMaxDet(g2))
 	var ks []int
@@ -81,18 +84,18 @@ func runAblations(ctx context.Context, cfg Config) (Report, error) {
 			ks = append(ks, k)
 		}
 	}
-	detSlots := make([]*core.DetResult, len(ks))
-	err = cfg.Sweep(ctx, len(ks), func(i int) {
+	detSlots, timedOut2, err := SweepResults(ctx, cfg, &skips, len(ks), func(i int, skip func(string, ...any)) *core.DetResult {
 		res, err := core.RunDeterministic(g2, reqs2, core.DetConfig{TileSide: ks[i]})
 		if err != nil {
-			skips.Skip("E13b k=%d: %v", ks[i], err)
-			return
+			skip("E13b k=%d: %v", ks[i], err)
+			return nil
 		}
-		detSlots[i] = res
+		return res
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut2, func(i int) string { return fmt.Sprintf("E13b k=%d", ks[i]) })
 	t2 := stats.NewTable("E13b: deterministic tile side k (paper: ⌈log2(1+3·pmax)⌉)",
 		"k", "delivered", "ratio vs dual upper")
 	for i, k := range ks {

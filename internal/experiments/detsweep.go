@@ -9,9 +9,9 @@ import (
 	"gridroute/internal/grid"
 	"gridroute/internal/netsim"
 	"gridroute/internal/optbound"
+	"gridroute/internal/scenario"
 	"gridroute/internal/spacetime"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
 func init() {
@@ -37,23 +37,23 @@ func runDetSweep(ctx context.Context, cfg Config) (Report, error) {
 		upper float64
 		ok    bool
 	}
-	lines := make([]lineSlot, len(sizes))
-	err := cfg.Sweep(ctx, len(sizes), func(i int) {
+	lines, timedOut, err := SweepResults(ctx, cfg, &skips, len(sizes), func(i int, skip func(string, ...any)) lineSlot {
 		n := sizes[i]
 		g := grid.Line(n, 3, 3)
-		reqs := workload.Uniform(g, 5*n, int64(2*n), cfg.SubRNG(fmt.Sprintf("thm4/n=%d", n)))
+		reqs := scenario.Uniform(g, 5*n, int64(2*n), cfg.SubRNG(fmt.Sprintf("thm4/n=%d", n)))
 		horizon := spacetime.SuggestHorizon(g, reqs, 3)
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
 		if err != nil {
-			skips.Skip("E1 Thm4 line n=%d: %v", n, err)
-			return
+			skip("E1 Thm4 line n=%d: %v", n, err)
+			return lineSlot{}
 		}
 		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-		lines[i] = lineSlot{res: res, upper: upper, ok: true}
+		return lineSlot{res: res, upper: upper, ok: true}
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut, func(i int) string { return fmt.Sprintf("E1 Thm4 line n=%d", sizes[i]) })
 	var lineNs []int
 	var lineRatios []float64
 	for i, n := range sizes {
@@ -73,23 +73,23 @@ func runDetSweep(ctx context.Context, cfg Config) (Report, error) {
 	if !cfg.Quick {
 		grids = []int{6, 8, 12, 16}
 	}
-	grid2d := make([]lineSlot, len(grids))
-	err = cfg.Sweep(ctx, len(grids), func(i int) {
+	grid2d, timedOut2, err := SweepResults(ctx, cfg, &skips, len(grids), func(i int, skip func(string, ...any)) lineSlot {
 		s := grids[i]
 		g := grid.New([]int{s, s}, 3, 3)
-		reqs := workload.Uniform(g, 6*s*s, int64(3*s), cfg.SubRNG(fmt.Sprintf("thm10/side=%d", s)))
+		reqs := scenario.Uniform(g, 6*s*s, int64(3*s), cfg.SubRNG(fmt.Sprintf("thm10/side=%d", s)))
 		horizon := spacetime.SuggestHorizon(g, reqs, 3)
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
 		if err != nil {
-			skips.Skip("E2 Thm10 2-d side=%d: %v", s, err)
-			return
+			skip("E2 Thm10 2-d side=%d: %v", s, err)
+			return lineSlot{}
 		}
 		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-		grid2d[i] = lineSlot{res: res, upper: upper, ok: true}
+		return lineSlot{res: res, upper: upper, ok: true}
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut2, func(i int) string { return fmt.Sprintf("E2 Thm10 2-d side=%d", grids[i]) })
 	for i, s := range grids {
 		sl := grid2d[i]
 		if !sl.ok {
@@ -106,18 +106,17 @@ func runDetSweep(ctx context.Context, cfg Config) (Report, error) {
 		ntgTP int
 		ok    bool
 	}
-	b0 := make([]b0Slot, len(sizes))
-	err = cfg.Sweep(ctx, len(sizes), func(i int) {
+	b0, timedOut3, err := SweepResults(ctx, cfg, &skips, len(sizes), func(i int, skip func(string, ...any)) b0Slot {
 		n := sizes[i]
 		g := grid.Line(n, 0, 3)
-		reqs := workload.Uniform(g, 4*n, int64(2*n), cfg.SubRNG(fmt.Sprintf("thm11/n=%d", n)))
+		reqs := scenario.Uniform(g, 4*n, int64(2*n), cfg.SubRNG(fmt.Sprintf("thm11/n=%d", n)))
 		horizon := spacetime.SuggestHorizon(g, reqs, 3)
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
 		if err != nil {
-			skips.Skip("E3 Thm11 B=0 n=%d: %v", n, err)
-			return
+			skip("E3 Thm11 B=0 n=%d: %v", n, err)
+			return b0Slot{}
 		}
-		b0[i] = b0Slot{
+		return b0Slot{
 			res:   res,
 			opt:   optbound.ExactBufferlessLine(g, reqs),
 			ntgTP: baseline.Run(g, reqs, baseline.NearestToGo{}, netsim.Model1, horizon).Throughput(),
@@ -127,6 +126,7 @@ func runDetSweep(ctx context.Context, cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut3, func(i int) string { return fmt.Sprintf("E3 Thm11 B=0 n=%d", sizes[i]) })
 	for i, n := range sizes {
 		s := b0[i]
 		if !s.ok {

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"gridroute/internal/stats"
 )
@@ -89,6 +90,9 @@ type Config struct {
 	// has no pool and sweeps inline.
 	pool  *subpool
 	lease *lease
+	// subTimeout is Policy.SubTimeout, stamped by the Runner: the
+	// individual bound SweepResults applies to each sub-case.
+	subTimeout time.Duration
 }
 
 // RNG returns a fresh deterministic generator for the given stream. Distinct
@@ -118,6 +122,14 @@ func (c Config) SubRNG(subkey string) *rand.Rand {
 // cancelled no further sub-cases start; in-flight ones are waited for, then
 // the context's error is returned. A Config built by hand (tests,
 // benchmarks) has no pool and sweeps inline on the calling goroutine.
+//
+// Sweep never abandons a sub-case: because f writes into caller-shared
+// state, a timed-out sub-case could not be discarded safely. Every
+// registered experiment therefore sweeps via SweepResults (which returns
+// results through per-index channels and honours Policy.SubTimeout);
+// Sweep remains the minimal primitive for callers whose sub-cases share
+// state and need no individual bounding — hand-built Configs in tests and
+// benchmarks, and the runner's own pool-reclaim tests.
 func (c Config) Sweep(ctx context.Context, n int, f func(i int)) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -154,6 +166,133 @@ func (c Config) Sweep(ctx context.Context, n int, f func(i int)) error {
 	return ctx.Err()
 }
 
+// SweepResults runs f(0..n-1) over the Runner's shared sub-task pool (see
+// Config.Sweep for the pooling and determinism contract) and returns the
+// per-index results. Unlike Sweep, each sub-case is individually bounded
+// by Policy.SubTimeout: a sub-case that overruns its budget is abandoned —
+// its pool slot is reclaimed so it cannot starve the rest of the sweep,
+// and its eventual result is discarded — and its index is reported in
+// timedOut (sorted). Abandoned sub-cases leave the zero value of T in
+// their slot, which is why results are returned rather than written to
+// shared state: the hung goroutine's late result dies in a buffered
+// channel instead of racing the caller.
+//
+// The same discipline applies to skip reporting: f receives a skip
+// function (same signature as SkipList.Skip) that buffers per index, and
+// skips flow into the caller's SkipList only for sub-cases that finished
+// in time — an abandoned sub-case's late skips vanish with its result
+// instead of landing nondeterministically after the report was assembled.
+//
+// A panicking sub-case is re-thrown on the calling goroutine after the
+// sweep drains, where the runner's containment turns it into a failed
+// experiment instead of a crashed worker — unless the sub-case had
+// already been abandoned at SubTimeout, in which case the late panic is
+// discarded with the rest of its result (the sub-case is already reported
+// lost via timedOut). err is non-nil only when ctx was cancelled.
+func SweepResults[T any](ctx context.Context, cfg Config, skips *SkipList, n int, f func(i int, skip func(format string, args ...any)) T) (out []T, timedOut []int, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out = make([]T, n)
+	type subResult struct {
+		v        T
+		skips    []string
+		panicked any
+	}
+	call := func(i int, done chan<- subResult) {
+		var r subResult
+		skip := func(format string, args ...any) {
+			r.skips = append(r.skips, fmt.Sprintf(format, args...))
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				r.panicked = p
+			}
+			done <- r
+		}()
+		r.v = f(i, skip)
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		panicked any
+	)
+	settle := func(i int, done <-chan subResult, l *lease) {
+		var timer <-chan time.Time
+		if cfg.subTimeout > 0 {
+			t := time.NewTimer(cfg.subTimeout)
+			defer t.Stop()
+			timer = t.C
+		}
+		select {
+		case r := <-done:
+			mu.Lock()
+			if r.panicked != nil && panicked == nil {
+				panicked = r.panicked
+			}
+			mu.Unlock()
+			if skips != nil {
+				for _, s := range r.skips {
+					skips.Skip("%s", s)
+				}
+			}
+			out[i] = r.v
+		case <-timer:
+			if cfg.pool != nil {
+				cfg.pool.reclaim(l)
+			}
+			mu.Lock()
+			timedOut = append(timedOut, i)
+			mu.Unlock()
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		// Each sub-case gets its own lease when it can be abandoned
+		// individually (adopted by the attempt lease, so an attempt-level
+		// reclaim still frees it); reclaiming one slot never frees its
+		// siblings'.
+		l := cfg.lease
+		if cfg.subTimeout > 0 || l == nil {
+			l = &lease{}
+		}
+		if cfg.pool != nil {
+			if cfg.pool.acquire(ctx, l) != nil {
+				break
+			}
+			if l != cfg.lease {
+				cfg.pool.adopt(cfg.lease, l)
+			}
+		}
+		done := make(chan subResult, 1)
+		go func(i int, l *lease) {
+			if cfg.pool != nil {
+				defer cfg.pool.release(l)
+			}
+			call(i, done)
+		}(i, l)
+		if cfg.pool == nil {
+			// Hand-built Configs (tests, benchmarks) sweep serially, like
+			// Sweep, but still honour the per-sub-case bound.
+			settle(i, done, l)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, l *lease) {
+			defer wg.Done()
+			settle(i, done, l)
+		}(i, l)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	sort.Ints(timedOut)
+	return out, timedOut, ctx.Err()
+}
+
 // SkipList collects the sub-cases an experiment could not run. It is safe
 // for concurrent use from Sweep sub-tasks; the rendered list is sorted so
 // notes and errors are deterministic regardless of completion order.
@@ -167,6 +306,16 @@ func (s *SkipList) Skip(format string, args ...any) {
 	s.mu.Lock()
 	s.items = append(s.items, fmt.Sprintf(format, args...))
 	s.mu.Unlock()
+}
+
+// SkipTimeouts records the sub-cases a SweepResults call abandoned at
+// Policy.SubTimeout; name renders the sub-case key for index i. Like every
+// skip, timeouts surface in the report notes and the ErrSkipped error —
+// deterministic partial results, never retried.
+func (s *SkipList) SkipTimeouts(timedOut []int, name func(i int) string) {
+	for _, i := range timedOut {
+		s.Skip("%s: sub-case timeout", name(i))
+	}
 }
 
 // Len reports how many sub-cases were skipped.

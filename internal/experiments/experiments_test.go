@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"gridroute/internal/scenario"
 )
 
 // The full quick-mode suite must produce every report with non-empty
@@ -17,7 +19,7 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("short mode")
 	}
 	results := Runner{Workers: 1, Quick: true}.RunAll(context.Background())
-	wantIDs := []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13"}
+	wantIDs := []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13", "E14"}
 	if len(results) != len(wantIDs) {
 		t.Fatalf("got %d reports, want %d", len(results), len(wantIDs))
 	}
@@ -171,5 +173,27 @@ func TestSkipList(t *testing.T) {
 	s.Apply(&rep)
 	if len(rep.Notes) != 2 || !strings.Contains(rep.Notes[1], want) {
 		t.Fatalf("notes = %v, want sorted skip note", rep.Notes)
+	}
+}
+
+// Quick-mode overrides must only ever shrink a scenario, never inflate a
+// small default (appendixf-model2 defaults to rounds=1; the quick rounds=4
+// override must not apply to it, while 0-default auto-sizing knobs like
+// the convoy's rounds still shrink).
+func TestQuickOverridesNeverInflate(t *testing.T) {
+	for _, sc := range scenario.Registered() {
+		overrides := quickOverrides(sc)
+		for name, v := range overrides {
+			p, ok := sc.Param(name)
+			if !ok {
+				t.Fatalf("%s: override for undeclared param %s", sc.ID, name)
+			}
+			if p.Default != 0 && v >= p.Default {
+				t.Errorf("%s: quick override %s=%v inflates default %v", sc.ID, name, v, p.Default)
+			}
+		}
+	}
+	if adv, _ := scenario.Lookup("appendixf-model2"); len(quickOverrides(adv)) != 0 {
+		t.Errorf("appendixf-model2 quick overrides = %v, want none", quickOverrides(adv))
 	}
 }

@@ -7,9 +7,9 @@ import (
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
 	"gridroute/internal/optbound"
+	"gridroute/internal/scenario"
 	"gridroute/internal/spacetime"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
 func init() {
@@ -28,24 +28,24 @@ func runThm13(ctx context.Context, cfg Config) (Report, error) {
 		res   *core.LargeCapResult
 		upper float64
 	}
-	slots := make([]slot, len(sizes))
 	var skips SkipList
-	err := cfg.Sweep(ctx, len(sizes), func(i int) {
+	slots, timedOut, err := SweepResults(ctx, cfg, &skips, len(sizes), func(i int, skip func(string, ...any)) slot {
 		n := sizes[i]
 		g := grid.Line(n, 64, 64)
-		reqs := workload.Saturating(g, 6, 3, cfg.SubRNG(fmt.Sprintf("n=%d", n)))
+		reqs := scenario.Saturating(g, 6, 3, cfg.SubRNG(fmt.Sprintf("n=%d", n)))
 		horizon := spacetime.SuggestHorizon(g, reqs, 2)
 		res, err := core.RunLargeCapacity(g, reqs, core.DetConfig{Horizon: horizon})
 		if err != nil {
-			skips.Skip("n=%d: %v", n, err)
-			return
+			skip("n=%d: %v", n, err)
+			return slot{}
 		}
 		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
-		slots[i] = slot{res: res, upper: upper}
+		return slot{res: res, upper: upper}
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut, func(i int) string { return fmt.Sprintf("n=%d", sizes[i]) })
 
 	t := stats.NewTable("Thm 13: large B, c — scaled ipp over the space-time graph",
 		"n", "B=c", "k", "delivered", "upper", "ratio", "ratio/log2(n)")

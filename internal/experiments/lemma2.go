@@ -6,9 +6,9 @@ import (
 
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
+	"gridroute/internal/scenario"
 	"gridroute/internal/spacetime"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
 func init() {
@@ -25,23 +25,23 @@ func init() {
 func runLemma2(ctx context.Context, cfg Config) (Report, error) {
 	n := 64
 	g := grid.Line(n, 3, 3)
-	reqs := workload.Uniform(g, 6*n, int64(2*n), cfg.SubRNG("uniform"))
+	reqs := scenario.Uniform(g, 6*n, int64(2*n), cfg.SubRNG("uniform"))
 	horizon := spacetime.SuggestHorizon(g, reqs, 3)
 	paper := core.PMaxDet(g)
 	pms := []int{n / 2, n, 2 * n, 8 * n, paper}
-	slots := make([]*core.DetResult, len(pms))
 	var skips SkipList
-	err := cfg.Sweep(ctx, len(pms), func(i int) {
+	slots, timedOut, err := SweepResults(ctx, cfg, &skips, len(pms), func(i int, skip func(string, ...any)) *core.DetResult {
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon, PMax: pms[i]})
 		if err != nil {
-			skips.Skip("pmax=%d: %v", pms[i], err)
-			return
+			skip("pmax=%d: %v", pms[i], err)
+			return nil
 		}
-		slots[i] = res
+		return res
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut, func(i int) string { return fmt.Sprintf("pmax=%d", pms[i]) })
 
 	t := stats.NewTable("Lemma 2: restricting path lengths costs at most a constant factor",
 		"pmax", "tile side k", "delivered")

@@ -6,8 +6,8 @@ import (
 
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
+	"gridroute/internal/scenario"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
 func init() {
@@ -22,26 +22,26 @@ func init() {
 // runProp89 reports the detailed-routing loss fractions.
 func runProp89(ctx context.Context, cfg Config) (Report, error) {
 	sizes := cfg.Sizes()
-	slots := make([]*core.DetResult, len(sizes))
 	var skips SkipList
-	err := cfg.Sweep(ctx, len(sizes), func(i int) {
+	slots, timedOut, err := SweepResults(ctx, cfg, &skips, len(sizes), func(i int, skip func(string, ...any)) *core.DetResult {
 		n := sizes[i]
 		g := grid.Line(n, 3, 3)
-		reqs := workload.Saturating(g, 8, 2, cfg.SubRNG(fmt.Sprintf("n=%d", n)))
+		reqs := scenario.Saturating(g, 8, 2, cfg.SubRNG(fmt.Sprintf("n=%d", n)))
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
 		if err != nil {
-			skips.Skip("n=%d: %v", n, err)
-			return
+			skip("n=%d: %v", n, err)
+			return nil
 		}
 		if res.Admitted == 0 {
-			skips.Skip("n=%d: nothing admitted", n)
-			return
+			skip("n=%d: nothing admitted", n)
+			return nil
 		}
-		slots[i] = res
+		return res
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut, func(i int) string { return fmt.Sprintf("n=%d", sizes[i]) })
 
 	t := stats.NewTable("Props 8, 9: detailed-routing survival fractions (theory: each ≥ 1/(2k))",
 		"n", "k", "ipp", "ipp'", "alg", "ipp'/ipp", "alg/ipp'", "1/(2k)")

@@ -2,11 +2,12 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
+	"gridroute/internal/scenario"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
 func init() {
@@ -25,23 +26,23 @@ func runRandDecomposition(ctx context.Context, cfg Config) (Report, error) {
 		n = 64
 	}
 	g := grid.Line(n, 1, 1)
-	reqs := workload.Uniform(g, 10*n, int64(4*n), cfg.SubRNG("uniform"))
+	reqs := scenario.Uniform(g, 10*n, int64(4*n), cfg.SubRNG("uniform"))
 	gammas := []float64{0.25, 1, 8}
-	slots := make([]*core.RandResult, len(gammas))
 	var skips SkipList
-	err := cfg.Sweep(ctx, len(gammas), func(i int) {
+	slots, timedOut, err := SweepResults(ctx, cfg, &skips, len(gammas), func(i int, skip func(string, ...any)) *core.RandResult {
 		// Every γ draws the same coin stream (fresh generator, same seed),
 		// so the rows differ only through the sparsification knob.
 		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: gammas[i], Branch: 1}, cfg.SubRNG("coins"))
 		if err != nil {
-			skips.Skip("gamma=%v: %v", gammas[i], err)
-			return
+			skip("gamma=%v: %v", gammas[i], err)
+			return nil
 		}
-		slots[i] = res
+		return res
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut, func(i int) string { return fmt.Sprintf("gamma=%v", gammas[i]) })
 
 	t := stats.NewTable("Thm 29 pipeline: |Far+| ≥ |ipp| ≥ |ipp^λ| ≥ |ipp^λ_¼| ≥ |alg| (Sec. 7.4.3)",
 		"n", "γ", "Far+", "ipp", "coin-survived", "load-survived", "injected=delivered", "TX-failed")

@@ -8,7 +8,7 @@ import (
 
 // All ten seed experiments must be registered, in canonical report order.
 func TestRegistryCompleteness(t *testing.T) {
-	want := []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13"}
+	want := []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13", "E14"}
 	if got := IDs(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry IDs = %v, want %v", got, want)
 	}
@@ -40,10 +40,10 @@ func TestSelect(t *testing.T) {
 		pattern string
 		want    []string
 	}{
-		{"", []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13"}},
+		{"", []string{"T1", "T2", "E1-E3", "E4", "E5", "E8", "E9", "E10", "E11", "E13", "E14"}},
 		{"^T", []string{"T1", "T2"}},
 		{"^E1-E3$", []string{"E1-E3"}},
-		{"^E1", []string{"E1-E3", "E10", "E11", "E13"}},
+		{"^E1", []string{"E1-E3", "E10", "E11", "E13", "E14"}},
 		{"^E4$", []string{"E4"}},      // fully anchored ID
 		{"ablation", []string{"E13"}}, // tag match
 		{"pipeline", []string{"E5"}},  // tag-only match (no ID contains it)

@@ -4,10 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
+
+	"gridroute/internal/scenario"
 )
 
 // Result is one executed experiment: its report, the error that ended it
@@ -29,6 +30,13 @@ type Policy struct {
 	// an attempt that overruns is abandoned and reported as
 	// context.DeadlineExceeded.
 	Timeout time.Duration
+	// SubTimeout bounds each individual sub-case of an experiment's
+	// SweepResults sweeps; 0 means no limit. A sub-case that overruns is
+	// abandoned (its pool slot reclaimed, its result discarded) and
+	// surfaces as a skipped sub-case in the report — a deterministic
+	// partial result, never a retried failure. Unlike Timeout, one slow
+	// sub-case costs only its own table row, not the whole experiment.
+	SubTimeout time.Duration
 	// Retries is how many times a failed attempt is re-run. Errors wrapping
 	// ErrSkipped and cancellations of the caller's context are never
 	// retried: both are deterministic, so a retry cannot help.
@@ -54,14 +62,10 @@ type Runner struct {
 // optional chain of sub-case keys (FNV-1a over the NUL-joined parts).
 // Scheduling order never enters the seed: SeedFor("T1") names the same
 // stream on every machine, and SeedFor("T1", "n=64") a distinct one.
+// It delegates to scenario.SeedFor — one implementation for the one
+// seeding convention both registries promise.
 func SeedFor(id string, subkeys ...string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	for _, k := range subkeys {
-		h.Write([]byte{0})
-		h.Write([]byte(k))
-	}
-	return int64(h.Sum64())
+	return scenario.SeedFor(id, subkeys...)
 }
 
 // subpool is the shared sub-task semaphore: one slot per -j worker, shared
@@ -82,10 +86,13 @@ func newSubpool(n int) *subpool {
 }
 
 // lease is one attempt's slot accounting. All fields are guarded by the
-// pool's mutex.
+// pool's mutex. Sub-cases that can be abandoned individually (SweepResults
+// under Policy.SubTimeout) hold their own child leases, registered under
+// the attempt lease so an attempt-level reclaim frees them too.
 type lease struct {
 	held      int
 	abandoned bool
+	children  []*lease
 }
 
 // acquire blocks until a slot is free or ctx is done.
@@ -122,16 +129,43 @@ func (p *subpool) release(l *lease) {
 	p.cond.Signal()
 }
 
-// reclaim frees every slot an abandoned attempt still holds, so a hung
-// sub-task stops counting against the shared pool. The hung goroutine may
-// keep computing (Go cannot kill it), but other experiments regain their
-// concurrency; its own eventual release becomes a no-op.
+// reclaim frees every slot an abandoned attempt still holds — including
+// slots held by its child leases — so a hung sub-task stops counting
+// against the shared pool. The hung goroutine may keep computing (Go
+// cannot kill it), but other experiments regain their concurrency; its own
+// eventual release becomes a no-op.
 func (p *subpool) reclaim(l *lease) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.reclaimLocked(l)
+	p.cond.Broadcast()
+}
+
+func (p *subpool) reclaimLocked(l *lease) {
+	if l.abandoned {
+		return
+	}
 	l.abandoned = true
 	p.free += l.held
-	p.cond.Broadcast()
+	for _, c := range l.children {
+		p.reclaimLocked(c)
+	}
+}
+
+// adopt registers child under parent so that reclaiming the parent (an
+// abandoned attempt) also frees the child's slots. A child adopted into an
+// already-abandoned parent is reclaimed immediately.
+func (p *subpool) adopt(parent, child *lease) {
+	if parent == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	parent.children = append(parent.children, child)
+	if parent.abandoned {
+		p.reclaimLocked(child)
+		p.cond.Broadcast()
+	}
 }
 
 func (r Runner) workers(jobs int) (expWorkers, poolSize int) {
@@ -238,7 +272,7 @@ func (r Runner) runOne(ctx context.Context, e Experiment, pool *subpool) Result 
 // so a stuck experiment can be abandoned at the deadline — its sub-tasks
 // stop at the next Sweep cancellation check and release their pool slots.
 func (r Runner) attempt(ctx context.Context, e Experiment, pool *subpool) (Report, error) {
-	cfg := Config{Quick: r.Quick, ID: e.ID, Seed: SeedFor(e.ID), pool: pool, lease: &lease{}}
+	cfg := Config{Quick: r.Quick, ID: e.ID, Seed: SeedFor(e.ID), pool: pool, lease: &lease{}, subTimeout: r.Policy.SubTimeout}
 	if r.Policy.Timeout <= 0 {
 		return safeRun(ctx, e, cfg)
 	}

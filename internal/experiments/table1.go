@@ -8,9 +8,9 @@ import (
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
 	"gridroute/internal/netsim"
+	"gridroute/internal/scenario"
 	"gridroute/internal/spacetime"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
 func init() {
@@ -34,31 +34,31 @@ func runTable1(ctx context.Context, cfg Config) (Report, error) {
 		detTP           int
 		detOK           bool
 	}
-	slots := make([]slot, len(sizes))
 	var skips SkipList
-	err := cfg.Sweep(ctx, len(sizes), func(i int) {
+	slots, timedOut, err := SweepResults(ctx, cfg, &skips, len(sizes), func(i int, skip func(string, ...any)) slot {
 		n := sizes[i]
 		rounds := 2 * n
 		// Unit links (Table 1's setting): the convoy saturates every link.
 		g1 := grid.Line(n, 3, 1)
-		reqs1 := workload.ConvoyRate(n, rounds, 1, 1)
+		reqs1 := scenario.ConvoyRate(n, rounds, 1, 1)
 		horizon := spacetime.SuggestHorizon(g1, reqs1, 3)
-		s := slot{optLB: workload.ConvoyOPTLowerBound(n, rounds, 1)}
+		s := slot{optLB: scenario.ConvoyOPTLowerBound(n, rounds, 1)}
 		s.greedyTP = baseline.Run(g1, reqs1, baseline.Greedy{}, netsim.Model1, horizon).Throughput()
 		s.ntgTP = baseline.Run(g1, reqs1, baseline.NearestToGo{}, netsim.Model1, horizon).Throughput()
 		// The deterministic algorithm needs c ≥ 3; same convoy shape.
 		g3 := grid.Line(n, 3, 3)
-		reqs3 := workload.ConvoyRate(n, rounds, 3, 1)
+		reqs3 := scenario.ConvoyRate(n, rounds, 3, 1)
 		if det, err := core.RunDeterministic(g3, reqs3, core.DetConfig{}); err != nil {
-			skips.Skip("even-medina-det n=%d: %v", n, err)
+			skip("even-medina-det n=%d: %v", n, err)
 		} else {
 			s.detTP, s.detOK = det.Throughput, true
 		}
-		slots[i] = s
+		return s
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut, func(i int) string { return fmt.Sprintf("n=%d", sizes[i]) })
 
 	t := stats.NewTable("Table 1 (reproduced): measured competitive ratios on the convoy instance",
 		"n", "alg", "B", "c", "delivered", "OPT certificate", "ratio")
@@ -70,8 +70,11 @@ func runTable1(ctx context.Context, cfg Config) (Report, error) {
 		ratios[name] = append(ratios[name], r)
 	}
 	for i, n := range sizes {
-		ns = append(ns, n)
 		s := slots[i]
+		if s.optLB == 0 { // sub-case timed out; already in the skip list
+			continue
+		}
+		ns = append(ns, n)
 		add(n, "greedy", 3, 1, s.greedyTP, s.optLB)
 		add(n, "nearest-to-go", 3, 1, s.ntgTP, s.optLB)
 		if s.detOK {

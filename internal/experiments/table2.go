@@ -7,8 +7,8 @@ import (
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
 	"gridroute/internal/optbound"
+	"gridroute/internal/scenario"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
 func init() {
@@ -46,14 +46,13 @@ func runTable2(ctx context.Context, cfg Config) (Report, error) {
 		upper  float64
 		ok     bool
 	}
-	slots := make([]slot, len(cases))
 	var skips SkipList
-	err := cfg.Sweep(ctx, len(cases), func(i int) {
+	slots, timedOut, err := SweepResults(ctx, cfg, &skips, len(cases), func(i int, skip func(string, ...any)) slot {
 		cs := cases[i]
 		g := grid.Line(cs.n, cs.b, cs.c)
 		// The request stream depends on n alone, so all three (B, c) regimes
 		// of one size face identical demand.
-		reqs := workload.Uniform(g, 6*cs.n, int64(2*cs.n), cfg.SubRNG(fmt.Sprintf("uniform/n=%d", cs.n)))
+		reqs := scenario.Uniform(g, 6*cs.n, int64(2*cs.n), cfg.SubRNG(fmt.Sprintf("uniform/n=%d", cs.n)))
 		// Fixed window: SuggestHorizon scales with B/c and would explode
 		// for the large-buffer case; algorithm and certificate share the
 		// same horizon, so the comparison stays honest.
@@ -65,7 +64,7 @@ func runTable2(ctx context.Context, cfg Config) (Report, error) {
 				core.RandConfig{Horizon: horizon, Gamma: 0.5},
 				cfg.SubRNG(fmt.Sprintf("rand/n=%d/B=%d/c=%d/seed=%d", cs.n, cs.b, cs.c, sd)))
 			if err != nil {
-				skips.Skip("n=%d B=%d c=%d seed=%d: %v", cs.n, cs.b, cs.c, sd, err)
+				skip("n=%d B=%d c=%d seed=%d: %v", cs.n, cs.b, cs.c, sd, err)
 				continue
 			}
 			s.regime, s.ok = res.Regime, true
@@ -73,11 +72,14 @@ func runTable2(ctx context.Context, cfg Config) (Report, error) {
 				s.best = res.Throughput
 			}
 		}
-		slots[i] = s
+		return s
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut, func(i int) string {
+		return fmt.Sprintf("n=%d B=%d c=%d", cases[i].n, cases[i].b, cases[i].c)
+	})
 
 	t := stats.NewTable("Table 2 (reproduced): randomized algorithm across (B,c) regimes",
 		"n", "B", "c", "regime", "delivered", "upper", "ratio", "ratio/log2(n)")

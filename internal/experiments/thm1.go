@@ -6,8 +6,8 @@ import (
 
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
+	"gridroute/internal/scenario"
 	"gridroute/internal/stats"
-	"gridroute/internal/workload"
 )
 
 func init() {
@@ -22,22 +22,22 @@ func init() {
 // runThm1 measures the ipp guarantees on the deterministic sketch graphs.
 func runThm1(ctx context.Context, cfg Config) (Report, error) {
 	sizes := cfg.Sizes()
-	slots := make([]*core.DetResult, len(sizes))
 	var skips SkipList
-	err := cfg.Sweep(ctx, len(sizes), func(i int) {
+	slots, timedOut, err := SweepResults(ctx, cfg, &skips, len(sizes), func(i int, skip func(string, ...any)) *core.DetResult {
 		n := sizes[i]
 		g := grid.Line(n, 3, 3)
-		reqs := workload.Saturating(g, 6, 2, cfg.SubRNG(fmt.Sprintf("n=%d", n)))
+		reqs := scenario.Saturating(g, 6, 2, cfg.SubRNG(fmt.Sprintf("n=%d", n)))
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
 		if err != nil {
-			skips.Skip("n=%d: %v", n, err)
-			return
+			skip("n=%d: %v", n, err)
+			return nil
 		}
-		slots[i] = res
+		return res
 	})
 	if err != nil {
 		return Report{}, err
 	}
+	skips.SkipTimeouts(timedOut, func(i int) string { return fmt.Sprintf("n=%d", sizes[i]) })
 
 	t := stats.NewTable("Thm 1: ipp primal/dual gap ≤ 2 and edge load ≤ log2(1+3·pmax)",
 		"n", "max load", "load bound", "primal", "2×accepted", "gap OK")

@@ -7,14 +7,14 @@ import (
 	"gridroute/internal/baseline"
 	"gridroute/internal/grid"
 	"gridroute/internal/netsim"
+	"gridroute/internal/scenario"
 	"gridroute/internal/spacetime"
-	"gridroute/internal/workload"
 )
 
 func TestDualUpperBoundDominatesFeasible(t *testing.T) {
 	g := grid.Line(24, 2, 2)
 	rng := rand.New(rand.NewSource(1))
-	reqs := workload.Uniform(g, 80, 48, rng)
+	reqs := scenario.Uniform(g, 80, 48, rng)
 	T := spacetime.SuggestHorizon(g, reqs, 3)
 	upper, accepted := DualUpperBound(g, reqs, T)
 	if upper < float64(accepted) {
@@ -94,7 +94,7 @@ func TestProp12NTGOptimalBufferless(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		g := grid.Line(12, 0, 1)
 		rng := rand.New(rand.NewSource(seed))
-		reqs := workload.Uniform(g, 10, 12, rng)
+		reqs := scenario.Uniform(g, 10, 12, rng)
 		opt := ExactBufferlessLine(g, reqs)
 		res := baseline.Run(g, reqs, baseline.NearestToGo{}, netsim.Model1, 64)
 		if res.Throughput() > opt {
@@ -111,7 +111,7 @@ func TestExactTinyMatchesBufferless(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		g := grid.Line(8, 0, 1)
 		rng := rand.New(rand.NewSource(100 + seed))
-		reqs := workload.Uniform(g, 6, 8, rng)
+		reqs := scenario.Uniform(g, 6, 8, rng)
 		want := ExactBufferlessLine(g, reqs)
 		got, ok := ExactTiny(g, reqs, 32, 64, 8)
 		if !ok {

@@ -1,0 +1,66 @@
+package scenario
+
+// Appendix F adversarial construction. In Model 2 (AKK09, AZ05 node
+// functionality) every packet present at a node during a cycle occupies a
+// buffer slot — including packets being forwarded — so a single long-haul
+// packet crossing a B = 1 line makes every node it visits reject the short
+// hop injected there in the same cycle. A FIFO-style policy that carries
+// the long packet therefore loses all n−2 shorts while OPT (which drops
+// the one long packet) serves every short: the Ω(n) separation of
+// Appendix F remark 3. internal/experiments E11 measures exactly this
+// instance; registering it makes the adversary reusable from routesim and
+// any future experiment.
+
+import (
+	"gridroute/internal/grid"
+)
+
+// Model2CollisionChain builds `rounds` back-to-back copies of the chain:
+// one long packet 0 → n−1 released at the phase start, and one short hop
+// v → v+1 released at the moment the long packet reaches v. Phases are
+// spaced `n` steps apart so consecutive long packets never interact.
+func Model2CollisionChain(n, b, c, rounds int) (*grid.Grid, []grid.Request) {
+	g := grid.Line(n, b, c)
+	var reqs []grid.Request
+	for r := 0; r < rounds; r++ {
+		base := int64(r * n)
+		reqs = append(reqs, grid.Request{
+			Src: grid.Vec{0}, Dst: grid.Vec{n - 1},
+			Arrival: base, Deadline: grid.InfDeadline,
+		})
+		for v := 1; v < n-1; v++ {
+			reqs = append(reqs, grid.Request{
+				Src: grid.Vec{v}, Dst: grid.Vec{v + 1},
+				Arrival: base + int64(v), Deadline: grid.InfDeadline,
+			})
+		}
+	}
+	return g, sortReqs(reqs)
+}
+
+// Model2CollisionOPT returns the offline optimum of the collision chain:
+// every short hop is serviceable (they are pairwise disjoint in
+// space-time once the long packet is dropped), plus the long packets
+// themselves when the shorts are sacrificed instead — the bound used by
+// the lower-bound experiments is the shorts-only count.
+func Model2CollisionOPT(n, rounds int) int {
+	return rounds * (n - 2)
+}
+
+func init() {
+	Register(Scenario{
+		ID:    "appendixf-model2",
+		Title: "Appendix F Model-2 adversary: B=1 collision chain forcing Ω(n) on FIFO policies",
+		Tags:  []string{"adversarial", "lowerbound", "model2", "line"},
+		Params: []Param{
+			pSide(64),
+			{Name: "b", Doc: "buffer size B per node (the separation needs B=1)", Default: 1, Min: 1, Max: 1 << 20, Int: true},
+			pCap(1),
+			{Name: "rounds", Doc: "independent chain phases, spaced n steps apart", Default: 1, Min: 1, Max: 1 << 16, Int: true},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			g, reqs := Model2CollisionChain(s.Int("n"), s.Int("b"), s.Int("c"), s.Int("rounds"))
+			return g, reqs, nil
+		},
+	})
+}

@@ -1,0 +1,203 @@
+package scenario
+
+// The nine scenarios ported from the former internal/workload free
+// functions. Each wraps one generator behind typed parameter specs; the
+// defaults reproduce the settings cmd/routesim and the examples used to
+// hard-code.
+
+import (
+	"gridroute/internal/grid"
+)
+
+// Shared parameter constructors: every scenario that routes on a line or
+// d-dimensional grid uses the same n/d/b/c vocabulary, so CLI overrides
+// transfer between scenarios.
+
+func pSide(def int) Param {
+	return Param{Name: "n", Doc: "side length of each grid dimension", Default: float64(def), Min: 2, Max: 4096, Int: true}
+}
+
+func pDim(def int) Param {
+	return Param{Name: "d", Doc: "grid dimension", Default: float64(def), Min: 1, Max: 4, Int: true}
+}
+
+func pBuf(def int) Param {
+	return Param{Name: "b", Doc: "buffer size B per node", Default: float64(def), Min: 0, Max: 1 << 20, Int: true}
+}
+
+func pCap(def int) Param {
+	return Param{Name: "c", Doc: "link capacity c", Default: float64(def), Min: 1, Max: 1 << 20, Int: true}
+}
+
+func pReqs(def int) Param {
+	return Param{Name: "reqs", Doc: "number of requests", Default: float64(def), Min: 1, Max: 1 << 22, Int: true}
+}
+
+func pMaxT(def int) Param {
+	return Param{Name: "maxt", Doc: "arrivals drawn uniformly from [0, maxt]", Default: float64(def), Min: 0, Max: 1 << 30, Int: true}
+}
+
+func pRounds(def int) Param {
+	return Param{Name: "rounds", Doc: "number of injection rounds", Default: float64(def), Min: 1, Max: 1 << 20, Int: true}
+}
+
+// specGrid builds the d-dimensional grid named by the standard n/d/b/c
+// parameters.
+func specGrid(s Spec) *grid.Grid {
+	d := s.Int("d")
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = s.Int("n")
+	}
+	return grid.New(dims, s.Int("b"), s.Int("c"))
+}
+
+func init() {
+	Register(Scenario{
+		ID:    "uniform",
+		Title: "Uniformly random sources, reachable destinations, uniform arrivals",
+		Tags:  []string{"random", "baseline-load"},
+		Params: []Param{
+			pSide(64), pDim(1), pBuf(3), pCap(3), pReqs(200), pMaxT(128),
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			g := specGrid(s)
+			return g, Uniform(g, s.Int("reqs"), s.Int64("maxt"), s.RNG()), nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "saturating",
+		Title: "Per-node bursts exceeding network capacity (admission-control regime)",
+		Tags:  []string{"random", "overload"},
+		Params: []Param{
+			pSide(64), pDim(1), pBuf(3), pCap(3), pRounds(8),
+			{Name: "burst", Doc: "requests injected per node per round", Default: 2, Min: 1, Max: 64, Int: true},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			g := specGrid(s)
+			return g, Saturating(g, s.Int("rounds"), s.Int("burst"), s.RNG()), nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "hotspot",
+		Title: "Sources concentrated in the low corner with far destinations (Sec. 1.3 dense area)",
+		Tags:  []string{"random", "hotspot"},
+		Params: []Param{
+			pSide(64), pDim(1), pBuf(3), pCap(3), pReqs(200), pMaxT(128),
+			{Name: "frac", Doc: "fraction of each side forming the hot corner", Default: 0.25, Min: 0.01, Max: 1},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			g := specGrid(s)
+			return g, Hotspot(g, s.Int("reqs"), s.Int64("maxt"), s.Float("frac"), s.RNG()), nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "permutation",
+		Title: "One request per node to a random higher node (light load)",
+		Tags:  []string{"random", "light-load"},
+		Params: []Param{
+			pSide(64), pDim(1), pBuf(3), pCap(3), pMaxT(64),
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			g := specGrid(s)
+			return g, Permutation(g, s.Int64("maxt"), s.RNG()), nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "crossbar",
+		Title: "Input-queued switch traffic on an ℓ×ℓ grid (Sec. 1.1 crossbar motivation)",
+		Tags:  []string{"random", "2d", "switch"},
+		Params: []Param{
+			pSide(8), pBuf(3), pCap(3), pRounds(32),
+			{Name: "load", Doc: "ingress probability per row per cycle", Default: 0.7, Min: 0, Max: 1},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			g, reqs := Crossbar(s.Int("n"), s.Int("b"), s.Int("c"), s.Int("rounds"), s.Float("load"), s.RNG())
+			return g, reqs, nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "convoy",
+		Title: "Greedy-killer convoy: one long-haul packet per step plus short hops ([AKOR03] Ω(√n))",
+		Tags:  []string{"adversarial", "lowerbound", "line"},
+		Params: []Param{
+			pSide(64), pBuf(3), pCap(1),
+			{Name: "rounds", Doc: "injection rounds (0 = 2n)", Default: 0, Min: 0, Max: 1 << 20, Int: true},
+			{Name: "shortevery", Doc: "short hops appear every this many steps", Default: 1, Min: 1, Max: 1 << 16, Int: true},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			n := s.Int("n")
+			rounds := s.Int("rounds")
+			if rounds == 0 {
+				rounds = 2 * n
+			}
+			g := grid.Line(n, s.Int("b"), s.Int("c"))
+			return g, Convoy(n, rounds, s.Int("shortevery")), nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "convoy-rate",
+		Title: "Convoy at link-saturating rate: c long-haul packets per step plus short hops",
+		Tags:  []string{"adversarial", "lowerbound", "line"},
+		Params: []Param{
+			pSide(64), pBuf(3), pCap(3),
+			{Name: "rate", Doc: "long-haul packets per step (0 = c, saturating every link)", Default: 0, Min: 0, Max: 1 << 16, Int: true},
+			{Name: "rounds", Doc: "injection rounds (0 = 2n)", Default: 0, Min: 0, Max: 1 << 20, Int: true},
+			{Name: "shortevery", Doc: "short hops appear every this many steps", Default: 1, Min: 1, Max: 1 << 16, Int: true},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			n := s.Int("n")
+			rounds := s.Int("rounds")
+			if rounds == 0 {
+				rounds = 2 * n
+			}
+			rate := s.Int("rate")
+			if rate == 0 {
+				rate = s.Int("c")
+			}
+			g := grid.Line(n, s.Int("b"), s.Int("c"))
+			return g, ConvoyRate(n, rounds, rate, s.Int("shortevery")), nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "uniform-deadline",
+		Title: "Uniform traffic with feasible per-packet deadlines (Sec. 5.4)",
+		Tags:  []string{"random", "deadline"},
+		Params: []Param{
+			pSide(48), pDim(1), pBuf(3), pCap(3), pReqs(180), pMaxT(96),
+			{Name: "slack", Doc: "deadline = arrival + dist·slack (≥ 1 keeps deadlines feasible)", Default: 1.5, Min: 1, Max: 64},
+			{Name: "jitter", Doc: "uniform extra deadline slack in [0, jitter]", Default: 8, Min: 0, Max: 1 << 20, Int: true},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			g := specGrid(s)
+			rng := s.RNG()
+			base := Uniform(g, s.Int("reqs"), s.Int64("maxt"), rng)
+			return g, WithDeadlines(g, base, s.Float("slack"), s.Int64("jitter"), rng), nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "saturating-deadline",
+		Title: "Overload bursts with feasible deadlines — admission control under time pressure",
+		Tags:  []string{"random", "overload", "deadline"},
+		Params: []Param{
+			pSide(48), pDim(1), pBuf(3), pCap(3), pRounds(6),
+			{Name: "burst", Doc: "requests injected per node per round", Default: 2, Min: 1, Max: 64, Int: true},
+			{Name: "slack", Doc: "deadline = arrival + dist·slack (≥ 1 keeps deadlines feasible)", Default: 2, Min: 1, Max: 64},
+			{Name: "jitter", Doc: "uniform extra deadline slack in [0, jitter]", Default: 8, Min: 0, Max: 1 << 20, Int: true},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			g := specGrid(s)
+			rng := s.RNG()
+			base := Saturating(g, s.Int("rounds"), s.Int("burst"), rng)
+			return g, WithDeadlines(g, base, s.Float("slack"), s.Int64("jitter"), rng), nil
+		},
+	})
+}

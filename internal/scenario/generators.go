@@ -1,7 +1,11 @@
-// Package workload generates request sequences: random traffic for
+package scenario
+
+// This file holds the raw request generators: random traffic for
 // throughput experiments and the adversarial constructions behind the
-// lower bounds cited in Table 1 of Even–Medina.
-package workload
+// lower bounds cited in Table 1 of Even–Medina. They were ported verbatim
+// from the former internal/workload package; the registered scenarios in
+// builtin.go (and the other per-family files) wrap them behind typed
+// parameter specs. Tests and experiments may also call them directly.
 
 import (
 	"math/rand"
@@ -18,6 +22,22 @@ func sortReqs(reqs []grid.Request) []grid.Request {
 		reqs[i].ID = i
 	}
 	return reqs
+}
+
+// randomDstFrom draws a uniformly random reachable destination from node
+// (one Intn per axis, so generator streams stay stable), reporting false
+// when the draw degenerates to node itself (always the case at the top
+// corner).
+func randomDstFrom(g *grid.Grid, node grid.Vec, rng *rand.Rand) (grid.Vec, bool) {
+	dst := make(grid.Vec, g.D())
+	ok := false
+	for a := 0; a < g.D(); a++ {
+		dst[a] = node[a] + rng.Intn(g.Dims[a]-node[a])
+		if dst[a] > node[a] {
+			ok = true
+		}
+	}
+	return dst, ok
 }
 
 // Uniform draws numReq requests with uniformly random source, a uniformly
@@ -55,14 +75,7 @@ func Saturating(g *grid.Grid, rounds int, burst int, rng *rand.Rand) []grid.Requ
 		for id := 0; id < g.N(); id++ {
 			g.Node(id, node)
 			for b := 0; b < burst; b++ {
-				dst := make(grid.Vec, d)
-				ok := false
-				for a := 0; a < d; a++ {
-					dst[a] = node[a] + rng.Intn(g.Dims[a]-node[a])
-					if dst[a] > node[a] {
-						ok = true
-					}
-				}
+				dst, ok := randomDstFrom(g, node, rng)
 				if !ok {
 					continue
 				}
@@ -206,14 +219,7 @@ func Permutation(g *grid.Grid, maxT int64, rng *rand.Rand) []grid.Request {
 	node := make(grid.Vec, d)
 	for id := 0; id < g.N(); id++ {
 		g.Node(id, node)
-		dst := make(grid.Vec, d)
-		ok := false
-		for a := 0; a < d; a++ {
-			dst[a] = node[a] + rng.Intn(g.Dims[a]-node[a])
-			if dst[a] > node[a] {
-				ok = true
-			}
-		}
+		dst, ok := randomDstFrom(g, node, rng)
 		if !ok {
 			continue
 		}

@@ -1,0 +1,47 @@
+package scenario
+
+// 3-d lattices: the paper's algorithms are stated for every dimension d
+// (Thm 10's O(log^{d+4} n) bound), but all the reproduced tables stop at
+// d = 2. This pair opens the d = 3 axis with the two canonical load
+// shapes — uniform and corner-hotspot — on an ℓ×ℓ×ℓ lattice.
+
+import (
+	"gridroute/internal/grid"
+)
+
+func pSide3(def int) Param {
+	// A 3-d side of ℓ means ℓ³ nodes: keep the cap low enough that the
+	// default sweeps stay tractable.
+	return Param{Name: "n", Doc: "side length of the ℓ×ℓ×ℓ lattice", Default: float64(def), Min: 2, Max: 64, Int: true}
+}
+
+func init() {
+	Register(Scenario{
+		ID:    "lattice3d-uniform",
+		Title: "Uniform traffic on an ℓ×ℓ×ℓ 3-d lattice (Thm 10 beyond d=2)",
+		Tags:  []string{"random", "3d", "lattice"},
+		Params: []Param{
+			pSide3(6), pBuf(3), pCap(3), pReqs(200), pMaxT(64),
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			l := s.Int("n")
+			g := grid.New([]int{l, l, l}, s.Int("b"), s.Int("c"))
+			return g, Uniform(g, s.Int("reqs"), s.Int64("maxt"), s.RNG()), nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "lattice3d-hotspot",
+		Title: "Corner-hotspot traffic on an ℓ×ℓ×ℓ 3-d lattice",
+		Tags:  []string{"random", "3d", "lattice", "hotspot"},
+		Params: []Param{
+			pSide3(6), pBuf(3), pCap(3), pReqs(200), pMaxT(64),
+			{Name: "frac", Doc: "fraction of each side forming the hot corner", Default: 0.34, Min: 0.01, Max: 1},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			l := s.Int("n")
+			g := grid.New([]int{l, l, l}, s.Int("b"), s.Int("c"))
+			return g, Hotspot(g, s.Int("reqs"), s.Int64("maxt"), s.Float("frac"), s.RNG()), nil
+		},
+	})
+}

@@ -1,0 +1,110 @@
+package scenario
+
+// Classical permutation patterns from the interconnection-network
+// literature (transpose, bit-reversal), adapted to the uni-directional
+// grid: a request (src, dst) exists only when dst is coordinate-wise ≥
+// src, since the network is a DAG and cannot route the remaining pairs.
+// The surviving half still concentrates load along the anti-diagonal
+// (transpose) and across address strides (bit-reversal), the structured
+// congestion these patterns are known for.
+
+import (
+	"fmt"
+
+	"gridroute/internal/grid"
+)
+
+// Transpose issues the corner-turn transpose on an ℓ×ℓ grid: the interior
+// transpose (i,j) → (j,i) is unroutable in a uni-directional grid (one
+// coordinate always decreases), so the pattern enters on the west and
+// north edges and exits transposed on the east and south edges —
+// (i,0) → (ℓ−1,i) and (0,i) → (i,ℓ−1). Every packet crosses the main
+// diagonal cell (i,i), reproducing the diagonal congestion that makes
+// transpose a classical stress pattern. Re-injected every `every` steps
+// for `waves` waves.
+func Transpose(l, b, c, waves, every int) (*grid.Grid, []grid.Request) {
+	g := grid.New([]int{l, l}, b, c)
+	var reqs []grid.Request
+	for w := 0; w < waves; w++ {
+		for i := 0; i < l; i++ {
+			reqs = append(reqs, grid.Request{
+				Src: grid.Vec{i, 0}, Dst: grid.Vec{l - 1, i},
+				Arrival: int64(w * every), Deadline: grid.InfDeadline,
+			})
+			reqs = append(reqs, grid.Request{
+				Src: grid.Vec{0, i}, Dst: grid.Vec{i, l - 1},
+				Arrival: int64(w * every), Deadline: grid.InfDeadline,
+			})
+		}
+	}
+	return g, sortReqs(reqs)
+}
+
+// bitRev reverses the low `bits` bits of v.
+func bitRev(v, bits int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = r<<1 | (v>>i)&1
+	}
+	return r
+}
+
+// BitReversal issues the reachable half of the bit-reversal permutation
+// v → rev(v) on a line of n = 2^k nodes, re-injected every `every` steps
+// for `waves` waves. n must be a power of two.
+func BitReversal(n, b, c, waves, every int) (*grid.Grid, []grid.Request, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, nil, fmt.Errorf("bit-reversal needs n to be a power of two, got %d", n)
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	g := grid.Line(n, b, c)
+	var reqs []grid.Request
+	for w := 0; w < waves; w++ {
+		for v := 0; v < n; v++ {
+			r := bitRev(v, bits)
+			if r <= v { // unreachable (or fixed point) in the uni-directional line
+				continue
+			}
+			reqs = append(reqs, grid.Request{
+				Src: grid.Vec{v}, Dst: grid.Vec{r},
+				Arrival: int64(w * every), Deadline: grid.InfDeadline,
+			})
+		}
+	}
+	return g, sortReqs(reqs), nil
+}
+
+func init() {
+	Register(Scenario{
+		ID:    "transpose",
+		Title: "Corner-turn transpose on an ℓ×ℓ grid: edge-to-edge traffic crossing the diagonal",
+		Tags:  []string{"permutation", "2d", "structured"},
+		Params: []Param{
+			pSide(16), pBuf(3), pCap(3),
+			{Name: "waves", Doc: "how many times the permutation is injected", Default: 4, Min: 1, Max: 1 << 16, Int: true},
+			{Name: "every", Doc: "steps between waves", Default: 8, Min: 1, Max: 1 << 20, Int: true},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			g, reqs := Transpose(s.Int("n"), s.Int("b"), s.Int("c"), s.Int("waves"), s.Int("every"))
+			return g, reqs, nil
+		},
+	})
+
+	Register(Scenario{
+		ID:    "bit-reversal",
+		Title: "Bit-reversal permutation v→rev(v) on a 2^k-node line (reachable half)",
+		Tags:  []string{"permutation", "line", "structured"},
+		Params: []Param{
+			{Name: "n", Doc: "line length (must be a power of two)", Default: 64, Min: 2, Max: 4096, Int: true},
+			pBuf(3), pCap(3),
+			{Name: "waves", Doc: "how many times the permutation is injected", Default: 4, Min: 1, Max: 1 << 16, Int: true},
+			{Name: "every", Doc: "steps between waves", Default: 8, Min: 1, Max: 1 << 20, Int: true},
+		},
+		Generate: func(s Spec) (*grid.Grid, []grid.Request, error) {
+			return BitReversal(s.Int("n"), s.Int("b"), s.Int("c"), s.Int("waves"), s.Int("every"))
+		},
+	})
+}
