@@ -1,0 +1,8 @@
+//go:build race
+
+package gridroute
+
+// raceEnabled reports whether the race detector is active; allocation
+// regression tests are skipped under -race because instrumentation changes
+// allocation behaviour.
+const raceEnabled = true

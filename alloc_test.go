@@ -1,0 +1,120 @@
+// Allocation-regression tests: the steady-state hot paths of the packer,
+// the lattice DP, and the schedule verifier must not allocate. These gates
+// back the BENCH_hotpath.json trajectory — a regression here is a perf bug
+// even while all behavioural tests stay green.
+package gridroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridroute/internal/core"
+	"gridroute/internal/grid"
+	"gridroute/internal/ipp"
+	"gridroute/internal/lattice"
+	"gridroute/internal/netsim"
+	"gridroute/internal/optbound"
+	"gridroute/internal/scenario"
+	"gridroute/internal/spacetime"
+)
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+}
+
+// TestOfferDenseSteadyStateAllocFree: after warm-up (capacity memo filled),
+// dense-mode Packer.Offer must allocate nothing.
+func TestOfferDenseSteadyStateAllocFree(t *testing.T) {
+	skipIfRace(t)
+	caps := []float64{3, 5}
+	capFn := func(e ipp.EdgeID) float64 { return caps[int(e)%2] }
+	p := ipp.NewDense(1<<20, capFn, 256)
+	path := []ipp.EdgeID{0, 1, 2, 3, 4, 5}
+	p.Offer(path, p.Cost(path)) // warm the capacity memo
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Offer(path, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dense Offer allocates %v/run, want 0", allocs)
+	}
+}
+
+// TestDPRunWarmAllocFree: a warm DP (buffers grown once) must run both the
+// closure and the flat relaxation without allocating.
+func TestDPRunWarmAllocFree(t *testing.T) {
+	skipIfRace(t)
+	b := lattice.NewBox([]int{0, 0}, []int{24, 24})
+	edgeX := make([]float64, b.Size()*2)
+	nodeX := make([]float64, b.Size())
+	rng := rand.New(rand.NewSource(41))
+	for i := range edgeX {
+		edgeX[i] = rng.Float64()
+	}
+	dp := b.NewDP()
+	src := []int{0, 0}
+	dp.RunFlat(b.Lo, b.Hi, src, edgeX, nodeX) // warm the window buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		dp.RunFlat(b.Lo, b.Hi, src, edgeX, nodeX)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DP.RunFlat allocates %v/run, want 0", allocs)
+	}
+	edgeW := func(id, a int) float64 { return edgeX[id*2+a] }
+	dp.Run(b.Lo, b.Hi, src, edgeW, nil)
+	allocs = testing.AllocsPerRun(50, func() {
+		dp.Run(b.Lo, b.Hi, src, edgeW, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DP.Run allocates %v/run, want 0", allocs)
+	}
+}
+
+// TestReplayWarmAllocFree: a warm (Replayer, Result) pair must verify a
+// schedule set without allocating, in both node models.
+func TestReplayWarmAllocFree(t *testing.T) {
+	skipIfRace(t)
+	g := grid.Line(48, 3, 3)
+	reqs := scenario.Uniform(g, 96, 64, rand.New(rand.NewSource(42)))
+	res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rp netsim.Replayer
+	var out netsim.Result
+	for _, model := range []netsim.Model{netsim.Model1, netsim.Model2} {
+		rp.ReplayInto(g, reqs, res.Schedules, model, &out) // warm buffers
+		allocs := testing.AllocsPerRun(20, func() {
+			rp.ReplayInto(g, reqs, res.Schedules, model, &out)
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: warm ReplayInto allocates %v/run, want 0", model, allocs)
+		}
+		if len(out.Violation) != 0 {
+			t.Fatalf("%v: deterministic schedules violate constraints: %v", model, out.Violation)
+		}
+	}
+}
+
+// TestSTPackerLightestPathWarmAllocFree: the Theorem 13 / dual-bound oracle's
+// path search (DP + destination-ray scan) allocates only the returned path
+// once warm (1 Path struct + 1 coord slice + 1 axes slice, plus the source
+// point — materialized per call by design).
+func TestSTPackerLightestPathWarmAllocFree(t *testing.T) {
+	skipIfRace(t)
+	g := grid.Line(32, 3, 3)
+	st := spacetime.New(g, 64)
+	sp := optbound.NewSTPacker(st, 3, 3, core.PMaxDet(g))
+	r := &grid.Request{Src: grid.Vec{2}, Dst: grid.Vec{20}, Arrival: 1, Deadline: grid.InfDeadline}
+	if p, _ := sp.LightestPath(r); p == nil {
+		t.Fatal("no path on an empty lattice")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		sp.LightestPath(r)
+	})
+	if allocs > 4 {
+		t.Fatalf("warm LightestPath allocates %v/run, want ≤ 4 (the returned path)", allocs)
+	}
+}

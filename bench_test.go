@@ -1,8 +1,13 @@
-// Benchmarks: one testing.B target per experiment id of DESIGN.md §5.
-// Each regenerates the corresponding table/figure measurement of
-// Even–Medina (SPAA 2011) and reports the headline number as a custom
-// metric, so `go test -bench=. -benchmem` reproduces the paper's artifacts
-// end to end. EXPERIMENTS.md holds the full sweeps (cmd/experiments).
+// Benchmarks: one testing.B target per experiment id of DESIGN.md §5, plus
+// the BenchmarkHotPath family feeding the BENCH_hotpath.json perf
+// trajectory (see README "Performance").
+//
+// Each experiment benchmark regenerates the corresponding table/figure
+// measurement of Even–Medina (SPAA 2011) and reports the headline number as
+// a custom metric, so `go test -bench=. -benchmem` reproduces the paper's
+// artifacts end to end. EXPERIMENTS.md holds the full sweeps
+// (cmd/experiments). All benchmarks report allocations and exclude their
+// setup from the timed region.
 package gridroute
 
 import (
@@ -16,6 +21,7 @@ import (
 	"gridroute/internal/experiments"
 	"gridroute/internal/grid"
 	"gridroute/internal/ipp"
+	"gridroute/internal/lattice"
 	"gridroute/internal/netsim"
 	"gridroute/internal/optbound"
 	"gridroute/internal/render"
@@ -24,15 +30,115 @@ import (
 	"gridroute/internal/tiling"
 )
 
+// --- Hot paths ---------------------------------------------------------------
+
+// BenchmarkHotPath measures the steady-state routing substrate: the dense
+// packer, the flat lattice DP, the space-time packing oracle, and the warm
+// schedule verifier. These are the targets the BENCH_hotpath.json
+// trajectory tracks; the *Dense/Flat/Warm variants must report 0 allocs/op
+// (gated by alloc_test.go).
+func BenchmarkHotPath(b *testing.B) {
+	b.Run("PackerOfferDense", func(b *testing.B) {
+		b.ReportAllocs()
+		caps := []float64{3, 5}
+		p := ipp.NewDense(1<<30, func(e ipp.EdgeID) float64 { return caps[int(e)%2] }, 256)
+		path := []ipp.EdgeID{0, 1, 2, 3, 4, 5, 6, 7}
+		p.Offer(path, p.Cost(path))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Offer(path, 0)
+		}
+	})
+	b.Run("PackerOfferSparse", func(b *testing.B) {
+		b.ReportAllocs()
+		caps := []float64{3, 5}
+		p := ipp.New(1<<30, func(e ipp.EdgeID) float64 { return caps[int(e)%2] })
+		path := []ipp.EdgeID{0, 1, 2, 3, 4, 5, 6, 7}
+		p.Offer(path, p.Cost(path))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Offer(path, 0)
+		}
+	})
+	b.Run("DPRunFlat", func(b *testing.B) {
+		b.ReportAllocs()
+		box := lattice.NewBox([]int{0, 0}, []int{48, 48})
+		edgeX := make([]float64, box.Size()*2)
+		rng := rand.New(rand.NewSource(1))
+		for i := range edgeX {
+			edgeX[i] = rng.Float64()
+		}
+		dp := box.NewDP()
+		src := []int{0, 0}
+		dp.RunFlat(box.Lo, box.Hi, src, edgeX, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.RunFlat(box.Lo, box.Hi, src, edgeX, nil)
+		}
+	})
+	b.Run("DPRunClosure", func(b *testing.B) {
+		b.ReportAllocs()
+		box := lattice.NewBox([]int{0, 0}, []int{48, 48})
+		edgeX := make([]float64, box.Size()*2)
+		rng := rand.New(rand.NewSource(1))
+		for i := range edgeX {
+			edgeX[i] = rng.Float64()
+		}
+		dp := box.NewDP()
+		src := []int{0, 0}
+		edgeW := func(id, a int) float64 { return edgeX[id*2+a] }
+		dp.Run(box.Lo, box.Hi, src, edgeW, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.Run(box.Lo, box.Hi, src, edgeW, nil)
+		}
+	})
+	b.Run("STPackerLightestPath", func(b *testing.B) {
+		b.ReportAllocs()
+		g := grid.Line(64, 3, 3)
+		st := spacetime.New(g, 128)
+		sp := optbound.NewSTPacker(st, 3, 3, core.PMaxDet(g))
+		r := &grid.Request{Src: grid.Vec{4}, Dst: grid.Vec{40}, Arrival: 2, Deadline: grid.InfDeadline}
+		if p, _ := sp.LightestPath(r); p == nil {
+			b.Fatal("no path")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp.LightestPath(r)
+		}
+	})
+	b.Run("ReplayWarm", func(b *testing.B) {
+		b.ReportAllocs()
+		g := grid.Line(96, 3, 3)
+		reqs := scenario.Uniform(g, 5*96, 192, rand.New(rand.NewSource(6)))
+		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rp netsim.Replayer
+		var out netsim.Result
+		rp.ReplayInto(g, reqs, res.Schedules, netsim.Model1, &out)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rp.ReplayInto(g, reqs, res.Schedules, netsim.Model1, &out)
+		}
+		if len(out.Violation) != 0 {
+			b.Fatalf("violations: %v", out.Violation)
+		}
+	})
+}
+
 // --- Table 1 -----------------------------------------------------------------
 
 func BenchmarkTable1PriorAlgorithms(b *testing.B) {
+	b.ReportAllocs()
 	n := 64
 	g := grid.Line(n, 3, 1)
 	reqs := scenario.ConvoyRate(n, 2*n, 1, 1)
 	optLB := scenario.ConvoyOPTLowerBound(n, 2*n, 1)
 	horizon := spacetime.SuggestHorizon(g, reqs, 3)
 	var ratio float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gr := baseline.Run(g, reqs, baseline.Greedy{}, netsim.Model1, horizon)
 		ratio = float64(optLB) / float64(gr.Throughput())
@@ -48,10 +154,12 @@ func BenchmarkTable2RandomizedRegimes(b *testing.B) {
 		b, c int
 	}{{"small-B1c1", 1, 1}, {"large-buffers", 98, 1}, {"large-capacity", 1, 28}} {
 		b.Run(cs.name, func(b *testing.B) {
+			b.ReportAllocs()
 			n := 64
 			g := grid.Line(n, cs.b, cs.c)
 			reqs := scenario.Uniform(g, 6*n, int64(2*n), rand.New(rand.NewSource(1)))
 			var tp int
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5}, rand.New(rand.NewSource(int64(i))))
 				if err != nil {
@@ -67,7 +175,9 @@ func BenchmarkTable2RandomizedRegimes(b *testing.B) {
 // --- Figures -------------------------------------------------------------------
 
 func BenchmarkFigure1Grid(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.New([]int{4, 4}, 2, 1)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if len(render.Grid2D(g)) == 0 {
 			b.Fatal("empty rendering")
@@ -76,7 +186,9 @@ func BenchmarkFigure1Grid(b *testing.B) {
 }
 
 func BenchmarkFigure2SpaceTime(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(64, 3, 3)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := spacetime.New(g, 256)
 		r := &grid.Request{Src: grid.Vec{3}, Dst: grid.Vec{40}, Arrival: 5, Deadline: grid.InfDeadline}
@@ -88,10 +200,12 @@ func BenchmarkFigure2SpaceTime(b *testing.B) {
 }
 
 func BenchmarkFigure3Untilting(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(64, 3, 3)
 	st := spacetime.New(g, 256)
 	p := make([]int, 2)
 	v := make(grid.Vec, 1)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for t := int64(0); t < 64; t++ {
 			v[0] = int(t % 64)
@@ -104,11 +218,13 @@ func BenchmarkFigure3Untilting(b *testing.B) {
 }
 
 func BenchmarkFigure4SketchCapacities(b *testing.B) {
+	b.ReportAllocs()
 	res, err := core.RunDeterministic(grid.Line(64, 3, 3),
 		scenario.Uniform(grid.Line(64, 3, 3), 64, 64, rand.New(rand.NewSource(1))), core.DetConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if res.MaxLoad > res.LoadBound {
 			b.Fatal("sketch capacity discipline broken")
@@ -118,8 +234,10 @@ func BenchmarkFigure4SketchCapacities(b *testing.B) {
 }
 
 func BenchmarkFigure5DetailedRouting(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(48, 3, 3)
 	reqs := scenario.Uniform(g, 4*48, 96, rand.New(rand.NewSource(2)))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
 		if err != nil || res.RouteStats.Anomalies != 0 {
@@ -129,6 +247,7 @@ func BenchmarkFigure5DetailedRouting(b *testing.B) {
 }
 
 func BenchmarkFigure6KnockKnee(b *testing.B) {
+	b.ReportAllocs()
 	// Crossing traffic that forces simultaneous bends inside shared tiles.
 	g := grid.Line(48, 3, 3)
 	var reqs []grid.Request
@@ -136,6 +255,7 @@ func BenchmarkFigure6KnockKnee(b *testing.B) {
 		reqs = append(reqs, grid.Request{ID: len(reqs), Src: grid.Vec{j}, Dst: grid.Vec{j + 24}, Arrival: int64(j), Deadline: grid.InfDeadline})
 		reqs = append(reqs, grid.Request{ID: len(reqs), Src: grid.Vec{j}, Dst: grid.Vec{j + 1}, Arrival: int64(j), Deadline: grid.InfDeadline})
 	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
 		if err != nil || res.RouteStats.Anomalies != 0 {
@@ -145,10 +265,12 @@ func BenchmarkFigure6KnockKnee(b *testing.B) {
 }
 
 func BenchmarkFigure7Deadlines(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(48, 3, 3)
 	rng := rand.New(rand.NewSource(3))
 	reqs := scenario.WithDeadlines(g, scenario.Uniform(g, 150, 96, rng), 1.5, 8, rng)
 	var late int
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
 		if err != nil {
@@ -165,10 +287,12 @@ func BenchmarkFigure7Deadlines(b *testing.B) {
 }
 
 func BenchmarkFigure8Quadrants(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(64, 2, 2)
 	st := spacetime.New(g, 128)
 	pt := []int{31, 17}
 	sw := 0
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sw = 0
 		trials := 0
@@ -188,9 +312,11 @@ func BenchmarkFigure8Quadrants(b *testing.B) {
 }
 
 func BenchmarkFigure9ITXRouting(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(96, 1, 1)
 	reqs := scenario.Uniform(g, 8*96, 192, rand.New(rand.NewSource(4)))
 	var tp int
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.25, Branch: 1}, rand.New(rand.NewSource(int64(i))))
 		if err != nil || res.Anomalies != 0 {
@@ -202,9 +328,11 @@ func BenchmarkFigure9ITXRouting(b *testing.B) {
 }
 
 func BenchmarkFigure10XRouting(b *testing.B) {
+	b.ReportAllocs()
 	// Heavy same-tile crossing demand exercises the X quadrant.
 	g := grid.Line(64, 2, 2)
 	reqs := scenario.Hotspot(g, 400, 128, 0.3, rand.New(rand.NewSource(5)))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.25, Branch: 1}, rand.New(rand.NewSource(7)))
 		if err != nil || res.Anomalies != 0 {
@@ -214,12 +342,14 @@ func BenchmarkFigure10XRouting(b *testing.B) {
 }
 
 func BenchmarkFigure12NodeModels(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(4, 1, 1)
 	reqs := []grid.Request{
 		{ID: 0, Src: grid.Vec{0}, Dst: grid.Vec{3}, Arrival: 0, Deadline: grid.InfDeadline},
 		{ID: 1, Src: grid.Vec{1}, Dst: grid.Vec{3}, Arrival: 1, Deadline: grid.InfDeadline},
 	}
 	var m1, m2 int
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m1 = netsim.RunLocal(g, reqs, baseline.Greedy{}, netsim.Model1, 20).Throughput()
 		m2 = netsim.RunLocal(g, reqs, baseline.Greedy{}, netsim.Model2, 20).Throughput()
@@ -233,6 +363,7 @@ func BenchmarkFigure12NodeModels(b *testing.B) {
 // --- Theorems ------------------------------------------------------------------
 
 func BenchmarkThm4DetLine(b *testing.B) {
+	b.ReportAllocs()
 	n := 96
 	g := grid.Line(n, 3, 3)
 	reqs := scenario.Uniform(g, 5*n, int64(2*n), rand.New(rand.NewSource(6)))
@@ -251,8 +382,10 @@ func BenchmarkThm4DetLine(b *testing.B) {
 }
 
 func BenchmarkThm10DetGrid2D(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.New([]int{10, 10}, 3, 3)
 	reqs := scenario.Uniform(g, 400, 48, rand.New(rand.NewSource(7)))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RunDeterministic(g, reqs, core.DetConfig{}); err != nil {
 			b.Fatal(err)
@@ -261,6 +394,7 @@ func BenchmarkThm10DetGrid2D(b *testing.B) {
 }
 
 func BenchmarkThm11Bufferless(b *testing.B) {
+	b.ReportAllocs()
 	n := 96
 	g := grid.Line(n, 0, 3)
 	reqs := scenario.Uniform(g, 4*n, int64(2*n), rand.New(rand.NewSource(8)))
@@ -278,8 +412,10 @@ func BenchmarkThm11Bufferless(b *testing.B) {
 }
 
 func BenchmarkThm13LargeCapacity(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(48, 64, 64)
 	reqs := scenario.Saturating(g, 6, 3, rand.New(rand.NewSource(9)))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunLargeCapacity(g, reqs, core.DetConfig{})
 		if err != nil {
@@ -292,10 +428,12 @@ func BenchmarkThm13LargeCapacity(b *testing.B) {
 }
 
 func BenchmarkThm29RandLine(b *testing.B) {
+	b.ReportAllocs()
 	n := 96
 	g := grid.Line(n, 1, 1)
 	reqs := scenario.Uniform(g, 8*n, int64(3*n), rand.New(rand.NewSource(10)))
 	var tp int
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5}, rand.New(rand.NewSource(int64(i))))
 		if err != nil {
@@ -307,8 +445,10 @@ func BenchmarkThm29RandLine(b *testing.B) {
 }
 
 func BenchmarkThm30LargeBuffers(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(64, 98, 1)
 	reqs := scenario.Uniform(g, 400, 128, rand.New(rand.NewSource(11)))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5, Branch: 1}, rand.New(rand.NewSource(3))); err != nil {
 			b.Fatal(err)
@@ -317,8 +457,10 @@ func BenchmarkThm30LargeBuffers(b *testing.B) {
 }
 
 func BenchmarkThm31SmallBuffers(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(64, 2, 64)
 	reqs := scenario.Saturating(g, 8, 4, rand.New(rand.NewSource(12)))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: 0.5, Branch: 1}, rand.New(rand.NewSource(4))); err != nil {
 			b.Fatal(err)
@@ -327,9 +469,11 @@ func BenchmarkThm31SmallBuffers(b *testing.B) {
 }
 
 func BenchmarkThm1IPP(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(64, 3, 3)
 	st := spacetime.New(g, 256)
 	reqs := scenario.Uniform(g, 300, 128, rand.New(rand.NewSource(13)))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sp := optbound.NewSTPacker(st, 3, 3, core.PMaxDet(g))
 		for j := range reqs {
@@ -343,8 +487,10 @@ func BenchmarkThm1IPP(b *testing.B) {
 }
 
 func BenchmarkLemma2PathLengths(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(64, 3, 3)
 	reqs := scenario.Uniform(g, 300, 128, rand.New(rand.NewSource(14)))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		short, err := core.RunDeterministic(g, reqs, core.DetConfig{PMax: 64})
 		if err != nil {
@@ -361,9 +507,11 @@ func BenchmarkLemma2PathLengths(b *testing.B) {
 }
 
 func BenchmarkProp89DetailedRoutingLoss(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(96, 3, 3)
 	reqs := scenario.Saturating(g, 8, 2, rand.New(rand.NewSource(15)))
 	var f1, f2 float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunDeterministic(g, reqs, core.DetConfig{})
 		if err != nil {
@@ -377,6 +525,7 @@ func BenchmarkProp89DetailedRoutingLoss(b *testing.B) {
 }
 
 func BenchmarkLowerBounds(b *testing.B) {
+	b.ReportAllocs()
 	n := 64
 	g := grid.Line(n, 1, 1)
 	var reqs []grid.Request
@@ -385,6 +534,7 @@ func BenchmarkLowerBounds(b *testing.B) {
 		reqs = append(reqs, grid.Request{Src: grid.Vec{v}, Dst: grid.Vec{v + 1}, Arrival: int64(v), Deadline: grid.InfDeadline})
 	}
 	var ratio float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := baseline.Run(g, reqs, baseline.Greedy{}, netsim.Model2, int64(4*n))
 		ratio = float64(n-2) / float64(res.Throughput())
@@ -393,8 +543,10 @@ func BenchmarkLowerBounds(b *testing.B) {
 }
 
 func BenchmarkProp16Tiling(b *testing.B) {
+	b.ReportAllocs()
 	g := grid.Line(256, 2, 3)
 	st := spacetime.New(g, 64)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tl := tiling.New(st.Box, []int{8, 8}, []int{i % 8, (i * 3) % 8})
 		if tl.TBox.Size() == 0 {
@@ -408,6 +560,7 @@ func BenchmarkAblations(b *testing.B) {
 	reqs := scenario.Uniform(g, 8*64, 192, rand.New(rand.NewSource(16)))
 	for _, gamma := range []float64{0.25, 8} {
 		b.Run("gamma="+itoa(int(gamma*100)), func(b *testing.B) {
+			b.ReportAllocs()
 			var tp int
 			for i := 0; i < b.N; i++ {
 				res, err := core.RunRandomized(g, reqs, core.RandConfig{Gamma: gamma, Branch: 1}, rand.New(rand.NewSource(5)))
@@ -438,6 +591,7 @@ func itoa(v int) string {
 // BenchmarkK is a micro-benchmark of the tile-side parameter used across
 // both algorithms.
 func BenchmarkK(b *testing.B) {
+	b.ReportAllocs()
 	s := 0
 	for i := 0; i < b.N; i++ {
 		s += ipp.K(4 * 1024)
@@ -453,6 +607,7 @@ func BenchmarkK(b *testing.B) {
 func BenchmarkScenario(b *testing.B) {
 	for _, sc := range scenario.Registered() {
 		b.Run(sc.ID, func(b *testing.B) {
+			b.ReportAllocs()
 			var digest uint64
 			for i := 0; i < b.N; i++ {
 				g, reqs, err := scenario.Generate(sc.ID, nil)
@@ -473,6 +628,7 @@ func BenchmarkScenario(b *testing.B) {
 // suite through the registry runner; it is the one-stop reproduction
 // target and exercises the parallel path.
 func BenchmarkExperimentsQuick(b *testing.B) {
+	b.ReportAllocs()
 	r := experiments.Runner{Workers: 4, Quick: true}
 	for i := 0; i < b.N; i++ {
 		rs := r.RunAll(context.Background())
@@ -496,6 +652,7 @@ func BenchmarkExperimentsQuick(b *testing.B) {
 func BenchmarkExperiment(b *testing.B) {
 	for _, e := range experiments.Registered() {
 		b.Run(e.ID, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := experiments.Config{Quick: true, ID: e.ID, Seed: experiments.SeedFor(e.ID)}
 			for i := 0; i < b.N; i++ {
 				rep, err := e.Run(context.Background(), cfg)

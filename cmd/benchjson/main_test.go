@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gridroute
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkThm4DetLine 	     220	   5836721 ns/op	         1.647 certified-ratio	 1521706 B/op	   80694 allocs/op
+BenchmarkThm4DetLine 	     182	   6376735 ns/op	         1.647 certified-ratio	 1521706 B/op	   80694 allocs/op
+BenchmarkHotPath/PackerOfferDense-8         	24690418	        48.01 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	gridroute	12.104s
+`
+
+func TestParseBench(t *testing.T) {
+	e, err := parseBench(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.GOOS != "linux" || e.GOARCH != "amd64" || e.Pkg != "gridroute" {
+		t.Fatalf("env headers wrong: %+v", e)
+	}
+	if !strings.Contains(e.CPU, "Xeon") {
+		t.Fatalf("cpu header wrong: %q", e.CPU)
+	}
+	if len(e.Bench) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(e.Bench))
+	}
+	// Sorted by name: HotPath first.
+	hp := e.Bench[0]
+	if hp.Name != "BenchmarkHotPath/PackerOfferDense" {
+		t.Fatalf("procs suffix not stripped: %q", hp.Name)
+	}
+	if len(hp.Runs) != 1 || hp.Runs[0].Metrics["ns/op"] != 48.01 || hp.Runs[0].Metrics["allocs/op"] != 0 {
+		t.Fatalf("hotpath run wrong: %+v", hp.Runs)
+	}
+	thm := e.Bench[1]
+	if thm.Name != "BenchmarkThm4DetLine" || len(thm.Runs) != 2 {
+		t.Fatalf("count>1 runs not grouped: %+v", thm)
+	}
+	r := thm.Runs[0]
+	if r.N != 220 || r.Metrics["ns/op"] != 5836721 || r.Metrics["certified-ratio"] != 1.647 ||
+		r.Metrics["B/op"] != 1521706 || r.Metrics["allocs/op"] != 80694 {
+		t.Fatalf("metrics wrong: %+v", r)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench("PASS\nok x 1s\n"); err == nil {
+		t.Fatal("expected error on output with no benchmarks")
+	}
+}
+
+func TestRunInputAndAppend(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "traj.json")
+	raw := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if code := run([]string{"-input", in, "-label", "baseline", "-out", out, "-rawout", raw}, &sb, &sb); code != 0 {
+		t.Fatalf("run exit %d: %s", code, sb.String())
+	}
+	if code := run([]string{"-input", in, "-label", "after", "-out", out, "-append"}, &sb, &sb); code != 0 {
+		t.Fatalf("append run exit %d: %s", code, sb.String())
+	}
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(b, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if traj.Schema != schemaID {
+		t.Fatalf("schema = %q", traj.Schema)
+	}
+	if len(traj.Entries) != 2 || traj.Entries[0].Label != "baseline" || traj.Entries[1].Label != "after" {
+		t.Fatalf("trajectory entries wrong: %+v", traj.Entries)
+	}
+	rb, err := os.ReadFile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rb) != sample {
+		t.Fatal("rawout does not preserve the benchstat input")
+	}
+}
+
+func TestRunRequiresLabelAndOut(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-input", "x"}, &sb, &sb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestAppendRefusesUnreadableTrajectory(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("permission bits are ineffective as root")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "traj.json")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, []byte(`{"schema":"x","entries":[]}`), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if code := run([]string{"-input", in, "-label", "x", "-out", out, "-append"}, &sb, &sb); code != 1 {
+		t.Fatalf("exit %d, want 1 (must not truncate an unreadable trajectory)", code)
+	}
+}

@@ -20,6 +20,8 @@
 //	go run ./cmd/experiments -out FILE       # write markdown to FILE instead of stdout
 //	go run ./cmd/experiments -json FILE      # also write machine-readable results
 //	go run ./cmd/experiments -list           # list registered experiment IDs
+//	go run ./cmd/experiments -cpuprofile cpu.out -memprofile mem.out
+//	                                         # capture pprof profiles of the sweep
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -66,8 +69,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "per-experiment attempt timeout (0 = none)")
 	subTimeout := fs.Duration("subtimeout", 0, "per-sub-case timeout within each experiment's sweep (0 = none; overruns surface as skipped sub-cases)")
 	retries := fs.Int("retries", 0, "how many times to re-run a failed experiment")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, err)
+			}
+		}()
 	}
 
 	if *list {

@@ -98,8 +98,9 @@ func RunDeterministic(g *grid.Grid, reqs []grid.Request, cfg DetConfig) (*DetRes
 	}
 	tl := tiling.New(st.Box, side, phase)
 	sk := sketch.New(st, tl, sketch.Downscaled)
-	// Splitting tiles doubles path length plus one (Sec. 5.1).
-	pk := ipp.New(2*pmax+1, sk.Cap)
+	// Splitting tiles doubles path length plus one (Sec. 5.1). The sketch
+	// edge universe is compact, so the packer runs in dense (flat-array) mode.
+	pk := ipp.NewDense(2*pmax+1, sk.Cap, sk.Universe())
 
 	res := &DetResult{
 		Grid: g, Horizon: horizon, PMax: pmax, K: k,

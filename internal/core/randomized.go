@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
+	"gridroute/internal/dense"
 	"gridroute/internal/grid"
 	"gridroute/internal/ipp"
 	"gridroute/internal/lattice"
@@ -152,25 +154,31 @@ func randParams(g *grid.Grid) (Regime, int, int, error) {
 }
 
 // occ tracks space-time edge occupancy for the non-preemptive detailed
-// routing (capacities: c on the space axis, B on the w axis).
+// routing (capacities: c on the space axis, B on the w axis). Occupancy is a
+// dense epoch-stamped array over the box's node×axis edge ids, so claims and
+// probes are plain slice reads and a pooled occ is reusable across runs
+// without reallocation.
 type occ struct {
 	box     *lattice.Box
-	use     map[int]int
+	use     dense.Counts
 	caps    [2]int
-	journal []int
+	journal []int32
 }
 
 // begin starts a claim transaction; rollback undoes claims made since.
 func (o *occ) begin() { o.journal = o.journal[:0] }
 func (o *occ) rollback() {
 	for _, key := range o.journal {
-		o.use[key]--
+		o.use.Add(int(key), -1)
 	}
 	o.journal = o.journal[:0]
 }
 
-func newOcc(box *lattice.Box, b, c int) *occ {
-	return &occ{box: box, use: make(map[int]int), caps: [2]int{c, b}}
+func (o *occ) reset(box *lattice.Box, b, c int) {
+	o.box = box
+	o.caps = [2]int{c, b}
+	o.use.Reset(box.Size() * 2)
+	o.journal = o.journal[:0]
 }
 
 // runFree reports whether `steps` consecutive edges along axis starting at p
@@ -191,7 +199,7 @@ func (o *occ) runFree(p []int, axis, steps int) bool {
 		if _, ok := o.box.Step(id, axis); !ok {
 			return false
 		}
-		if o.use[id*2+axis] >= o.caps[axis] {
+		if o.use.Get(id*2+axis) >= o.caps[axis] {
 			return false
 		}
 		q[axis]++
@@ -204,8 +212,8 @@ func (o *occ) claimRun(p []int, axis, steps int, moves *[]uint8) {
 	q := [2]int{p[0], p[1]}
 	for s := 0; s < steps; s++ {
 		id := o.box.Index(q[:])
-		o.use[id*2+axis]++
-		o.journal = append(o.journal, id*2+axis)
+		o.use.Add(id*2+axis, 1)
+		o.journal = append(o.journal, int32(id*2+axis))
 		q[axis]++
 		*moves = append(*moves, uint8(axis))
 	}
@@ -316,7 +324,13 @@ func RunRandomized(g *grid.Grid, reqs []grid.Request, cfg RandConfig, rng *rand.
 		res.FarBranch = rng.Intn(2) == 1
 	}
 
-	occupancy := newOcc(st.Box, g.B, g.C)
+	// All per-run routing state (occupancy, lanes, quotas, sparsified flows)
+	// is dense epoch-stamped arrays drawn from a pool, so repeated runs
+	// (sweeps, retries) reallocate nothing once warm.
+	scratch := randScratchPool.Get().(*randScratch)
+	defer randScratchPool.Put(scratch)
+	occupancy := &scratch.occ
+	occupancy.reset(st.Box, g.B, g.C)
 
 	// Prop. 14: at each (node, time) only the B+c closest requests compete.
 	// planeOf[i] is the per-source arrival index of request i.
@@ -365,10 +379,22 @@ func RunRandomized(g *grid.Grid, reqs []grid.Request, cfg RandConfig, rng *rand.
 		rt := &randFarRouter{
 			res: res, st: st, tl: tl, sk: sk, occ: occupancy,
 			xCut: xCut, wCut: wCut, xCross: xCross, wCross: wCross, regime: regime,
-			pk:      ipp.New(pmax, sk.Cap),
-			flowLam: make(map[ipp.EdgeID]int),
-			lanes:   make(map[laneKey]bool),
-			quota:   make(map[quotaKey]int),
+			pk:      ipp.NewDense(pmax, sk.Cap, sk.Universe()),
+			planes:  g.B + g.C,
+			flowLam: &scratch.flowLam, lanesH: &scratch.lanesH,
+			lanesV: &scratch.lanesV, quota: &scratch.quota,
+		}
+		tiles := tl.TBox.Size()
+		rt.flowLam.Reset(sk.Universe())
+		rt.quota.Reset(tiles * 2)
+		// Lane tables are only sized for the I-routing directions the regime
+		// can use (7.7 routes only horizontally, 7.8 only vertically); the
+		// unused table stays empty and is never indexed.
+		if regime != RegimeLargeCapacity {
+			rt.lanesH.Reset(tiles * rt.planes * tl.Side[0])
+		}
+		if regime != RegimeLargeBuffers {
+			rt.lanesV.Reset(tiles * rt.planes * tl.Side[1])
 		}
 		cs := sk.RawCap(0)
 		if w := sk.RawCap(1); w < cs {
@@ -437,15 +463,16 @@ func (res *RandResult) deliver(i int, r *grid.Request, start []int, moves []uint
 	res.Throughput++
 }
 
-type laneKey struct {
-	tile, plane, lane int
-	horizontal        bool
+// randScratch is the pooled per-run dense state of the randomized algorithm.
+type randScratch struct {
+	occ     occ
+	flowLam dense.Counts // post-sparsification flows per sketch edge (Step 3)
+	lanesH  dense.Counts // horizontal I-routing lanes: (tile·planes+plane)·q + xOffset
+	lanesV  dense.Counts // vertical I-routing lanes: (tile·planes+plane)·τ + wOffset
+	quota   dense.Counts // SW-exit quotas (invariant 6): tile·2 + side (0 north, 1 east)
 }
 
-type quotaKey struct {
-	tile int
-	side uint8 // 0 = north, 1 = east
-}
+var randScratchPool = sync.Pool{New: func() any { return new(randScratch) }}
 
 // randFarRouter holds the Far⁺ pipeline state (Algorithm 2).
 type randFarRouter struct {
@@ -460,10 +487,12 @@ type randFarRouter struct {
 	xCut, wCut     int
 	xCross, wCross int
 	quotaMax       int
+	planes         int // I-routing planes per tile (B + c)
 
-	flowLam map[ipp.EdgeID]int // post-sparsification flows (Step 3)
-	lanes   map[laneKey]bool   // I-routing plane occupancy
-	quota   map[quotaKey]int   // SW-exit quotas (invariant 6)
+	flowLam *dense.Counts
+	lanesH  *dense.Counts
+	lanesV  *dense.Counts
+	quota   *dense.Counts
 }
 
 func (rt *randFarRouter) handle(i int, r *grid.Request, src []int, plane int, lambda, loadCap float64, rng *rand.Rand) {
@@ -486,13 +515,13 @@ func (rt *randFarRouter) handle(i int, r *grid.Request, src []int, plane int, la
 
 	// Step 3: ¼-load admission on every sketch edge of the path.
 	for _, e := range route.Edges {
-		if float64(rt.flowLam[e]+1)/rt.sk.Cap(e) >= loadCap {
+		if float64(rt.flowLam.Get(int(e))+1)/rt.sk.Cap(e) >= loadCap {
 			o.Stage = "load"
 			return
 		}
 	}
 	for _, e := range route.Edges {
-		rt.flowLam[e]++
+		rt.flowLam.Add(int(e), 1)
 	}
 	rt.res.LoadSurvived++
 
@@ -534,22 +563,23 @@ func (rt *randFarRouter) detailedRoute(r *grid.Request, src []int, route *sketch
 	if horizontal && rt.occ.caps[1] == 0 {
 		return nil, false
 	}
-	var lane laneKey
-	var quotaK quotaKey
-	var steps int
+	var lanes *dense.Counts
+	var laneIdx, quotaIdx, steps int
 	if horizontal {
-		lane = laneKey{tile0, plane, p[0] - org[0], true}
-		quotaK = quotaKey{tile0, 1}
+		lanes = rt.lanesH
+		laneIdx = (tile0*rt.planes+plane)*rt.tl.Side[0] + (p[0] - org[0])
+		quotaIdx = tile0*2 + 1 // east side
 		steps = org[1] + rt.wCut - p[1]
 	} else {
-		lane = laneKey{tile0, plane, p[1] - org[1], false}
-		quotaK = quotaKey{tile0, 0}
+		lanes = rt.lanesV
+		laneIdx = (tile0*rt.planes+plane)*rt.tl.Side[1] + (p[1] - org[1])
+		quotaIdx = tile0 * 2 // north side
 		steps = org[0] + rt.xCut - p[0]
 	}
-	if rt.lanes[lane] {
+	if lanes.Get(laneIdx) != 0 {
 		return nil, false
 	}
-	if rt.quota[quotaK] >= rt.quotaMax {
+	if rt.quota.Get(quotaIdx) >= rt.quotaMax {
 		return nil, false
 	}
 	axis := 0
@@ -585,8 +615,8 @@ func (rt *randFarRouter) detailedRoute(r *grid.Request, src []int, route *sketch
 		rt.res.TXFailed++
 		return nil, false
 	}
-	rt.lanes[lane] = true
-	rt.quota[quotaK]++
+	lanes.Add(laneIdx, 1)
+	rt.quota.Add(quotaIdx, 1)
 	return moves, true
 }
 

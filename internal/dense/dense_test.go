@@ -1,0 +1,127 @@
+package dense
+
+import (
+	"testing"
+)
+
+func TestCountsBasic(t *testing.T) {
+	var c Counts
+	c.Reset(10)
+	if got := c.Get(3); got != 0 {
+		t.Fatalf("fresh Get = %d, want 0", got)
+	}
+	if got := c.Add(3, 2); got != 2 {
+		t.Fatalf("Add = %d, want 2", got)
+	}
+	if got := c.Add(3, -1); got != 1 {
+		t.Fatalf("Add = %d, want 1", got)
+	}
+	c.Add(7, 5)
+	if got := c.Get(7); got != 5 {
+		t.Fatalf("Get(7) = %d, want 5", got)
+	}
+	touched := c.Touched()
+	if len(touched) != 2 || touched[0] != 3 || touched[1] != 7 {
+		t.Fatalf("Touched = %v, want [3 7]", touched)
+	}
+}
+
+func TestCountsResetClears(t *testing.T) {
+	var c Counts
+	c.Reset(5)
+	c.Add(2, 9)
+	c.Reset(5)
+	if got := c.Get(2); got != 0 {
+		t.Fatalf("Get after Reset = %d, want 0", got)
+	}
+	if len(c.Touched()) != 0 {
+		t.Fatalf("Touched after Reset = %v, want empty", c.Touched())
+	}
+}
+
+func TestCountsGrow(t *testing.T) {
+	var c Counts
+	c.Reset(2)
+	c.Add(1, 1)
+	c.Reset(100)
+	if got := c.Get(99); got != 0 {
+		t.Fatalf("grown Get = %d, want 0", got)
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+}
+
+func TestCountsEpochWrap(t *testing.T) {
+	var c Counts
+	c.Reset(3)
+	c.Add(0, 7)
+	c.epoch = ^uint32(0) // force wrap on next Reset
+	c.stamp[1] = 1       // would alias post-wrap epoch 1 if not cleared
+	c.val[1] = 42
+	c.Reset(3)
+	if c.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", c.epoch)
+	}
+	if got := c.Get(1); got != 0 {
+		t.Fatalf("aliased cell reads %d, want 0", got)
+	}
+}
+
+func TestBucketsOrder(t *testing.T) {
+	var b Buckets
+	b.Reset(10, 6)
+	b.Put(4, 0)
+	b.Put(2, 1)
+	b.Put(4, 2)
+	b.Put(2, 3)
+	b.Put(4, 4)
+	b.Put(9, 5)
+	keys := b.Keys()
+	if len(keys) != 3 || keys[0] != 4 || keys[1] != 2 || keys[2] != 9 {
+		t.Fatalf("Keys = %v, want [4 2 9]", keys)
+	}
+	var chain []int
+	for it := b.First(4); it >= 0; it = b.Next(it) {
+		chain = append(chain, it)
+	}
+	if len(chain) != 3 || chain[0] != 0 || chain[1] != 2 || chain[2] != 4 {
+		t.Fatalf("bucket 4 chain = %v, want [0 2 4]", chain)
+	}
+	if b.First(3) != -1 {
+		t.Fatalf("empty bucket First = %d, want -1", b.First(3))
+	}
+}
+
+func TestBucketsReset(t *testing.T) {
+	var b Buckets
+	b.Reset(4, 2)
+	b.Put(1, 0)
+	b.Put(1, 1)
+	b.Reset(4, 2)
+	if b.First(1) != -1 {
+		t.Fatalf("bucket survives Reset")
+	}
+	if len(b.Keys()) != 0 {
+		t.Fatalf("Keys survive Reset: %v", b.Keys())
+	}
+	b.Put(1, 1)
+	if b.First(1) != 1 || b.Next(1) != -1 {
+		t.Fatalf("bucket after reuse broken")
+	}
+}
+
+func TestCountsWarmResetAllocFree(t *testing.T) {
+	var c Counts
+	c.Reset(64)
+	for i := 0; i < 64; i++ {
+		c.Add(i, 1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Reset(64)
+		c.Add(5, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Reset+Add allocates %v times per run, want 0", allocs)
+	}
+}

@@ -24,7 +24,9 @@ package detroute
 
 import (
 	"sort"
+	"sync"
 
+	"gridroute/internal/dense"
 	"gridroute/internal/grid"
 	"gridroute/internal/lattice"
 	"gridroute/internal/sketch"
@@ -96,12 +98,24 @@ type Stats struct {
 type Router struct {
 	ST *spacetime.Graph
 	SK *sketch.Graph
+
+	// Scratch reused across nodes and steps.
+	in       []*pkt
+	outClaim []*pkt
+	byAxis   [8][]*pkt
+	tileBuf  []int
+	tcBuf    []int
+	orgBuf   []int
 }
 
 // New creates a detailed router for the deterministic algorithm.
 func New(st *spacetime.Graph, sk *sketch.Graph) *Router {
 	return &Router{ST: st, SK: sk}
 }
+
+// bucketsPool recycles the per-run node-grouping buckets across detailed
+// routing runs (sweeps run thousands of them).
+var bucketsPool = sync.Pool{New: func() any { return new(dense.Buckets) }}
 
 type phase int
 
@@ -123,6 +137,7 @@ type pkt struct {
 	dir   int // current travel axis
 	turn  int // pending knock-knee turn target axis (-1 none)
 	pos   []int
+	node  int // box id of pos, maintained incrementally
 	// arrivedVia is the axis of the last move (-1 right after injection).
 	arrivedVia int
 	// pending is the axis claimed for the current step (-1: not yet).
@@ -177,11 +192,13 @@ func (rt *Router) Run(admitted []Admitted) ([]Outcome, Stats) {
 	d := rt.ST.G.D()
 	axes := d + 1
 	box := rt.ST.Box
+	if len(rt.tileBuf) < axes {
+		rt.tileBuf = make([]int, axes)
+		rt.tcBuf = make([]int, axes)
+		rt.orgBuf = make([]int, axes)
+	}
 
 	all := make([]*pkt, len(admitted))
-	byTime := make(map[int64][]*pkt)
-	var minT int64
-	first := true
 	for i := range admitted {
 		a := &admitted[i]
 		p := &pkt{
@@ -190,6 +207,7 @@ func (rt *Router) Run(admitted []Admitted) ([]Outcome, Stats) {
 			firstBend: -1, lastBend: -1,
 		}
 		p.pos = rt.ST.ToLattice(a.Req.Src, a.Req.Arrival, nil)
+		p.node = box.Index(p.pos)
 		p.start = append([]int(nil), p.pos...)
 		for j := 1; j < len(a.Route.Axes); j++ {
 			if a.Route.Axes[j] != a.Route.Axes[j-1] {
@@ -203,13 +221,22 @@ func (rt *Router) Run(admitted []Admitted) ([]Outcome, Stats) {
 			p.dir = int(a.Route.Axes[0])
 		}
 		all[i] = p
-		t := a.Req.Arrival
-		byTime[t] = append(byTime[t], p)
-		if first || t < minT {
-			minT = t
-			first = false
-		}
 	}
+
+	// Injection order: packets sorted by arrival time (stably, so same-time
+	// packets keep their admission order), consumed by a cursor in the time
+	// sweep. Admitted requests are usually already arrival-sorted, making
+	// this a no-op pass.
+	arrOrder := make([]*pkt, len(all))
+	copy(arrOrder, all)
+	sort.SliceStable(arrOrder, func(a, b int) bool {
+		return arrOrder[a].req.Arrival < arrOrder[b].req.Arrival
+	})
+	var minT int64
+	if len(arrOrder) > 0 {
+		minT = arrOrder[0].req.Arrival
+	}
+	inCursor := 0
 
 	// Hard stop: the largest reachable time in the box.
 	endT := int64(box.Hi[axes-1] - 1)
@@ -227,33 +254,40 @@ func (rt *Router) Run(admitted []Admitted) ([]Outcome, Stats) {
 	}
 
 	active := make([]*pkt, 0, len(admitted))
-	groups := make(map[int][]*pkt)
+	// Per-step node grouping uses pooled epoch-stamped buckets over the
+	// box's node ids: no hashing per packet and no per-step map churn.
+	// Bucket chains preserve active order and keys come out in first-seen
+	// order, so grouping is deterministic.
+	groups := bucketsPool.Get().(*dense.Buckets)
+	defer bucketsPool.Put(groups)
+	groupBuf := make([]*pkt, 0, 16)
 
 	for t := minT; t <= endT; t++ {
-		if inj := byTime[t]; len(inj) > 0 {
-			for _, p := range inj {
-				if rt.arrive(p, &stats, drop) {
-					active = append(active, p)
-				}
+		for inCursor < len(arrOrder) && arrOrder[inCursor].req.Arrival == t {
+			p := arrOrder[inCursor]
+			inCursor++
+			if rt.arrive(p, &stats, drop) {
+				active = append(active, p)
 			}
-			delete(byTime, t)
 		}
 		if len(active) == 0 {
-			if len(byTime) == 0 {
+			if inCursor == len(arrOrder) {
 				break
 			}
 			continue
 		}
 
-		for k := range groups {
-			delete(groups, k)
-		}
-		for _, p := range active {
+		groups.Reset(box.Size(), len(active))
+		for i, p := range active {
 			p.pending = -1
-			groups[box.Index(p.pos)] = append(groups[box.Index(p.pos)], p)
+			groups.Put(p.node, i)
 		}
-		for _, pkts := range groups {
-			rt.resolveNode(pkts, drop)
+		for _, key := range groups.Keys() {
+			groupBuf = groupBuf[:0]
+			for it := groups.First(int(key)); it >= 0; it = groups.Next(it) {
+				groupBuf = append(groupBuf, active[it])
+			}
+			rt.resolveNode(groupBuf, drop)
 		}
 
 		next := active[:0]
@@ -267,10 +301,12 @@ func (rt *Router) Run(admitted []Admitted) ([]Outcome, Stats) {
 			}
 			a := p.pending
 			p.pending = -1
-			if _, ok := box.Step(box.Index(p.pos), a); !ok {
+			nid, ok := box.Step(p.node, a)
+			if !ok {
 				drop(p, p.part(), true) // fell off the box/horizon
 				continue
 			}
+			p.node = nid
 			p.pos[a]++
 			p.moves = append(p.moves, uint8(a))
 			p.arrivedVia = a
@@ -311,7 +347,7 @@ func (rt *Router) Run(admitted []Admitted) ([]Outcome, Stats) {
 func (rt *Router) arrive(p *pkt, stats *Stats, drop func(*pkt, Part, bool)) bool {
 	tl := rt.SK.Tl
 	tiles := p.route.Tiles
-	cur := tl.TileID(p.pos)
+	cur := tl.TBox.Index(tl.TileOf(p.pos, rt.tileBuf))
 
 	// Advance along the tile sequence; leaving it is an overrun.
 	if p.routeIdx+1 < len(tiles) && cur == tiles[p.routeIdx+1] {
@@ -386,8 +422,8 @@ func (rt *Router) arrive(p *pkt, stats *Stats, drop func(*pkt, Part, bool)) bool
 // entryBoundary returns the coordinate along axis of the lower side of the
 // route tile with index tileIdx: where a straight run along axis enters it.
 func (rt *Router) entryBoundary(p *pkt, tileIdx, axis int) int {
-	tc := rt.SK.TileCoords(p.route.Tiles[tileIdx], nil)
-	org := rt.SK.Tl.Origin(tc, nil)
+	tc := rt.SK.TileCoords(p.route.Tiles[tileIdx], rt.tcBuf)
+	org := rt.SK.Tl.Origin(tc, rt.orgBuf)
 	return org[axis]
 }
 
@@ -438,8 +474,39 @@ func (rt *Router) lastTileAxis(p *pkt) int {
 func (rt *Router) resolveNode(pkts []*pkt, drop func(*pkt, Part, bool)) {
 	axes := rt.ST.G.D() + 1
 
+	// Fast path: a lone packet at a node meets no contention, so every rule
+	// below degenerates to "advance along the desired axis" (for an internal
+	// packet or a turning first-segment packet, committing a pending bend).
+	if len(pkts) == 1 {
+		p := pkts[0]
+		switch {
+		case p.phase == phInternal:
+			if p.turn >= 0 {
+				p.pending = p.turn
+				p.dir, p.turn = p.turn, -1
+			} else {
+				p.pending = p.dir
+			}
+		case p.phase == phFirst && p.turn >= 0:
+			p.pending = p.turn
+			p.phase = phInternal
+			p.dir, p.turn = p.turn, -1
+		default: // straight track-1/track-3 run
+			p.pending = p.dir
+		}
+		return
+	}
+
 	// --- Track 2: internal segments (knock-knee rules, Sec. 5.2.3 / 6). ---
-	in := make([]*pkt, axes) // internal packet that arrived via each axis
+	if cap(rt.in) < axes {
+		rt.in = make([]*pkt, axes)
+		rt.outClaim = make([]*pkt, axes)
+	}
+	in := rt.in[:axes] // internal packet that arrived via each axis
+	outClaim := rt.outClaim[:axes]
+	for a := 0; a < axes; a++ {
+		in[a], outClaim[a] = nil, nil
+	}
 	for _, p := range pkts {
 		if p.phase != phInternal {
 			continue
@@ -453,7 +520,6 @@ func (rt *Router) resolveNode(pkts []*pkt, drop func(*pkt, Part, bool)) {
 		}
 		in[via] = p
 	}
-	outClaim := make([]*pkt, axes)
 	assigned := func(p *pkt) bool { return p != nil && p.pending >= 0 }
 
 	// (a) Straight traffic has precedence.
@@ -533,7 +599,10 @@ func (rt *Router) resolveNode(pkts []*pkt, drop func(*pkt, Part, bool)) {
 // first survives; the rest are preempted. Sorted arrival (by left endpoint)
 // is guaranteed by the time sweep.
 func (rt *Router) resolveStraight(pkts []*pkt, axes int, track1 bool, drop func(*pkt, Part, bool)) {
-	var byAxis [8][]*pkt
+	byAxis := &rt.byAxis
+	for a := range byAxis {
+		byAxis[a] = byAxis[a][:0]
+	}
 	for _, p := range pkts {
 		if p.pending >= 0 || p.phase == phDone || p.phase == phDropped {
 			continue

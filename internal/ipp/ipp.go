@@ -15,6 +15,15 @@
 // optimal fractional throughput over paths of ≤ pmax edges — this is the
 // certified OPT upper bound used across the benchmark harness (DESIGN.md §2).
 //
+// Two storage backends exist. New keeps x and flow in maps keyed by EdgeID —
+// the right choice for sparse or open-ended id spaces. NewDense stores them
+// in flat slices over a known edge universe (a space-time box has exactly
+// box.Size()·(d+1) edge ids); every hot path in the repository uses the
+// dense mode, whose weight slice the lightest-path DP indexes directly (see
+// lattice.DP.RunFlat). Both backends memoize the per-capacity constants
+// 2^{1/c} and (2^{1/c}−1)/pmax — a grid has at most two distinct finite
+// capacities (B and c), so after warm-up Offer never calls math.Exp2.
+//
 // Guarantees (Thm 1): throughput ≥ ½·opt_f, and every edge load
 // flow(e)/c(e) is at most log₂(1 + 3·pmax).
 package ipp
@@ -24,7 +33,8 @@ import (
 )
 
 // EdgeID identifies an edge in the caller's graph. Callers choose their own
-// id scheme (lattice edges, interior edges of split tiles, …).
+// id scheme (lattice edges, interior edges of split tiles, …). In dense mode
+// ids must lie in [0, universe).
 type EdgeID int64
 
 // CapFunc returns an edge capacity. Capacities must be ≥ 1 (Thm 1
@@ -32,13 +42,29 @@ type EdgeID int64
 // never weighted nor counted in the primal objective.
 type CapFunc func(EdgeID) float64
 
+// capMemo caches the weight-update constants of one distinct capacity.
+type capMemo struct {
+	c   float64 // the capacity
+	g   float64 // 2^{1/c}
+	add float64 // (2^{1/c} − 1)/pmax
+}
+
 // Packer is the online integral path packing state.
 type Packer struct {
 	pmax float64
 	cap  CapFunc
 
+	// Sparse backend (nil in dense mode).
 	x    map[EdgeID]float64
 	flow map[EdgeID]int
+
+	// Dense backend (nil in sparse mode).
+	xs    []float64
+	flows []int32
+
+	// memo holds the constants per distinct finite capacity seen so far.
+	// Grids have ≤ 2 entries (B and c), so lookup is a short linear scan.
+	memo []capMemo
 
 	accepted    int
 	rejected    int
@@ -47,7 +73,7 @@ type Packer struct {
 	maxLoad     float64
 }
 
-// New creates a packer for paths of at most pmax edges.
+// New creates a map-backed packer for paths of at most pmax edges.
 func New(pmax int, capFn CapFunc) *Packer {
 	if pmax < 1 {
 		panic("ipp: pmax must be ≥ 1")
@@ -60,20 +86,68 @@ func New(pmax int, capFn CapFunc) *Packer {
 	}
 }
 
+// NewDense creates a packer whose edge state lives in flat slices over the
+// id universe [0, universe). Steady-state Offer calls are allocation-free,
+// and Weights exposes the weight slice for direct indexing by lightest-path
+// oracles.
+func NewDense(pmax int, capFn CapFunc, universe int) *Packer {
+	if pmax < 1 {
+		panic("ipp: pmax must be ≥ 1")
+	}
+	if universe < 1 {
+		panic("ipp: dense universe must be ≥ 1")
+	}
+	return &Packer{
+		pmax:  float64(pmax),
+		cap:   capFn,
+		xs:    make([]float64, universe),
+		flows: make([]int32, universe),
+	}
+}
+
 // PMax returns the path-length bound.
 func (p *Packer) PMax() int { return int(p.pmax) }
 
+// Weights returns the dense weight slice, indexed by EdgeID, or nil for a
+// map-backed packer. Oracles use it to read edge weights without a call per
+// edge; they must not write to it.
+func (p *Packer) Weights() []float64 { return p.xs }
+
 // Weight returns the current weight x_e. The caller's lightest-path oracle
 // uses this as the edge length.
-func (p *Packer) Weight(e EdgeID) float64 { return p.x[e] }
+func (p *Packer) Weight(e EdgeID) float64 {
+	if p.xs != nil {
+		return p.xs[e]
+	}
+	return p.x[e]
+}
 
 // Cost returns α(path) = Σ x_e over the given edges.
 func (p *Packer) Cost(path []EdgeID) float64 {
 	var c float64
+	if p.xs != nil {
+		for _, e := range path {
+			c += p.xs[e]
+		}
+		return c
+	}
 	for _, e := range path {
 		c += p.x[e]
 	}
 	return c
+}
+
+// growth returns the memoized weight-update constants for capacity ce.
+func (p *Packer) growth(ce float64) (g, add float64) {
+	for i := range p.memo {
+		if p.memo[i].c == ce {
+			return p.memo[i].g, p.memo[i].add
+		}
+	}
+	g = math.Exp2(1 / ce)
+	add = (g - 1) / p.pmax
+	p.memo = append(p.memo, capMemo{c: ce, g: g, add: add})
+	return g, add
 }
 
 // Offer processes one request whose lightest legal path (as computed by the
@@ -92,26 +166,53 @@ func (p *Packer) Offer(path []EdgeID, cost float64) bool {
 		// Oracle bug guard: legal paths must have ≤ pmax edges.
 		panic("ipp: offered path longer than pmax")
 	}
+	if p.xs != nil {
+		p.commitDense(path)
+	} else {
+		p.commitSparse(path)
+	}
+	p.primalZ += 1 - cost
+	p.accepted++
+	return true
+}
+
+func (p *Packer) commitDense(path []EdgeID) {
+	for _, e := range path {
+		ce := p.cap(e)
+		f := p.flows[e] + 1
+		p.flows[e] = f
+		if math.IsInf(ce, 1) {
+			// Uncapacitated edges keep weight 0 (2^{1/∞} = 1, additive term 0).
+			continue
+		}
+		g, add := p.growth(ce)
+		old := p.xs[e]
+		nw := old*g + add
+		p.xs[e] = nw
+		p.primalEdges += (nw - old) * ce
+		if load := float64(f) / ce; load > p.maxLoad {
+			p.maxLoad = load
+		}
+	}
+}
+
+func (p *Packer) commitSparse(path []EdgeID) {
 	for _, e := range path {
 		ce := p.cap(e)
 		f := p.flow[e] + 1
 		p.flow[e] = f
 		if math.IsInf(ce, 1) {
-			// Uncapacitated edges keep weight 0 (2^{1/∞} = 1, additive term 0).
 			continue
 		}
-		g := math.Exp2(1 / ce)
+		g, add := p.growth(ce)
 		old := p.x[e]
-		nw := old*g + (g-1)/p.pmax
+		nw := old*g + add
 		p.x[e] = nw
 		p.primalEdges += (nw - old) * ce
 		if load := float64(f) / ce; load > p.maxLoad {
 			p.maxLoad = load
 		}
 	}
-	p.primalZ += 1 - cost
-	p.accepted++
-	return true
 }
 
 // Accepted returns the number of routed requests (the dual objective).
@@ -121,11 +222,16 @@ func (p *Packer) Accepted() int { return p.accepted }
 func (p *Packer) Rejected() int { return p.rejected }
 
 // Flow returns the number of committed paths using edge e.
-func (p *Packer) Flow(e EdgeID) int { return p.flow[e] }
+func (p *Packer) Flow(e EdgeID) int {
+	if p.xs != nil {
+		return int(p.flows[e])
+	}
+	return p.flow[e]
+}
 
 // Load returns flow(e)/c(e).
 func (p *Packer) Load(e EdgeID) float64 {
-	f := p.flow[e]
+	f := p.Flow(e)
 	if f == 0 {
 		return 0
 	}

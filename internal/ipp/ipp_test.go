@@ -157,3 +157,81 @@ func TestPanicOnLongPath(t *testing.T) {
 	p := New(1, constCap(1))
 	p.Offer([]EdgeID{1, 2}, 0)
 }
+
+// TestDenseMatchesSparse drives the same offer sequence through the map and
+// flat-array backends and requires bit-identical state: weights, flows,
+// primal value, counters.
+func TestDenseMatchesSparse(t *testing.T) {
+	const universe = 64
+	capArr := make([]float64, universe)
+	rng := rand.New(rand.NewSource(21))
+	for i := range capArr {
+		capArr[i] = float64(1 + rng.Intn(3))
+	}
+	capArr[7] = math.Inf(1) // one sink edge
+	capFn := func(e EdgeID) float64 { return capArr[e] }
+
+	sparse := New(6, capFn)
+	densePk := NewDense(6, capFn, universe)
+	if densePk.Weights() == nil || sparse.Weights() != nil {
+		t.Fatal("Weights() must expose the dense slice and nil for maps")
+	}
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(6)
+		path := make([]EdgeID, n)
+		for j := range path {
+			path[j] = EdgeID(rng.Intn(universe))
+		}
+		c1 := sparse.Cost(path)
+		c2 := densePk.Cost(path)
+		if c1 != c2 {
+			t.Fatalf("offer %d: cost %v (sparse) != %v (dense)", i, c1, c2)
+		}
+		if sparse.Offer(path, c1) != densePk.Offer(path, c2) {
+			t.Fatalf("offer %d: accept decision diverged", i)
+		}
+	}
+	for e := 0; e < universe; e++ {
+		if sparse.Weight(EdgeID(e)) != densePk.Weight(EdgeID(e)) {
+			t.Fatalf("edge %d: weight %v != %v", e, sparse.Weight(EdgeID(e)), densePk.Weight(EdgeID(e)))
+		}
+		if sparse.Flow(EdgeID(e)) != densePk.Flow(EdgeID(e)) {
+			t.Fatalf("edge %d: flow diverged", e)
+		}
+	}
+	if sparse.PrimalValue() != densePk.PrimalValue() ||
+		sparse.Accepted() != densePk.Accepted() ||
+		sparse.Rejected() != densePk.Rejected() ||
+		sparse.MaxLoad() != densePk.MaxLoad() {
+		t.Fatalf("aggregate state diverged: primal %v/%v accepted %d/%d rejected %d/%d load %v/%v",
+			sparse.PrimalValue(), densePk.PrimalValue(), sparse.Accepted(), densePk.Accepted(),
+			sparse.Rejected(), densePk.Rejected(), sparse.MaxLoad(), densePk.MaxLoad())
+	}
+}
+
+// TestMemoizedWeightsBitIdentical replays the packer's weight recurrence with
+// the raw (unmemoized) formula — math.Exp2 evaluated on every update — and
+// requires the memoized implementation to be bit-identical, not just close:
+// determinism gates diff experiment output byte-for-byte.
+func TestMemoizedWeightsBitIdentical(t *testing.T) {
+	caps := []float64{1, 3} // the B/C two-capacity case
+	capFn := func(e EdgeID) float64 { return caps[int(e)%2] }
+	const pmax = 11
+	p := NewDense(pmax, capFn, 8)
+
+	want := make([]float64, 8)
+	path := []EdgeID{0, 1, 2, 3}
+	for i := 0; i < 50; i++ {
+		p.Offer(path, 0) // force-accept; only the weight updates matter here
+		for _, e := range path {
+			g := math.Exp2(1 / capFn(e))
+			want[e] = want[e]*g + (g-1)/float64(pmax)
+		}
+		for _, e := range path {
+			if got := p.Weight(e); got != want[e] {
+				t.Fatalf("offer %d edge %d: memoized weight %v (bits %x) != raw %v (bits %x)",
+					i, e, got, math.Float64bits(got), want[e], math.Float64bits(want[e]))
+			}
+		}
+	}
+}

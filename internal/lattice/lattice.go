@@ -201,6 +201,7 @@ type DP struct {
 	cost   []float64
 	pred   []int8
 	srcAbs []int
+	pt     []int // odometer scratch
 	valid  bool
 }
 
@@ -211,7 +212,7 @@ func (b *Box) NewDP() *DP {
 		box:   b,
 		winLo: make([]int, d), winHi: make([]int, d),
 		wdims: make([]int, d), wstr: make([]int, d),
-		srcAbs: make([]int, d),
+		srcAbs: make([]int, d), pt: make([]int, d),
 	}
 }
 
@@ -232,10 +233,11 @@ func (dp *DP) inWindow(p []int) bool {
 	return true
 }
 
-// Run computes lightest paths from src to every point of the window
-// [winLo, winHi) ∩ box. src must lie in the window. Edge and node weights are
-// consulted via box node ids. After Run, use CostAt and PathTo.
-func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
+// setupWindow clips the window to the box, sizes the cost/pred buffers and
+// resets them. It returns the window index of src, or ok=false when the
+// window is empty or src lies outside it. Buffers are reused across calls,
+// so a warm DP allocates nothing.
+func (dp *DP) setupWindow(winLo, winHi, src []int) (srcW int, ok bool) {
 	d := dp.box.D()
 	dp.wsize = 1
 	for i := 0; i < d; i++ {
@@ -249,7 +251,7 @@ func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
 		}
 		if hi <= lo {
 			dp.valid = false
-			return
+			return 0, false
 		}
 		dp.winLo[i], dp.winHi[i] = lo, hi
 		dp.wdims[i] = hi - lo
@@ -270,12 +272,21 @@ func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
 	}
 	if !dp.inWindow(src) {
 		dp.valid = false
-		return
+		return 0, false
 	}
 	copy(dp.srcAbs, src)
 	dp.valid = true
+	return dp.winIndex(src), true
+}
 
-	srcW := dp.winIndex(src)
+// Run computes lightest paths from src to every point of the window
+// [winLo, winHi) ∩ box. src must lie in the window. Edge and node weights are
+// consulted via box node ids. After Run, use CostAt and PathTo.
+func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
+	srcW, ok := dp.setupWindow(winLo, winHi, src)
+	if !ok {
+		return
+	}
 	if nodeW != nil {
 		dp.cost[srcW] = nodeW(dp.box.Index(src))
 	} else {
@@ -285,7 +296,8 @@ func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
 	// Iterate window points in row-major (non-decreasing coordinate) order,
 	// which is a topological order of the DAG. Maintain the absolute point
 	// and the box id incrementally via an odometer.
-	pt := make([]int, d)
+	d := dp.box.D()
+	pt := dp.pt
 	copy(pt, dp.winLo)
 	boxID := dp.box.Index(pt)
 	for w := 0; w < dp.wsize; w++ {
@@ -321,6 +333,59 @@ func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
 	}
 }
 
+// RunFlat computes the same lightest paths as Run, reading weights from flat
+// slices instead of per-edge closures: the edge leaving node id along axis a
+// costs edgeX[id·D+a] (D = box.D()), and visiting node id costs nodeX[id]
+// (nil nodeX means zero node weights). This is the packing hot path: the
+// slices are an ipp dense packer's weight universe, indexed directly with no
+// call or hash per relaxation.
+func (dp *DP) RunFlat(winLo, winHi, src []int, edgeX, nodeX []float64) {
+	srcW, ok := dp.setupWindow(winLo, winHi, src)
+	if !ok {
+		return
+	}
+	if nodeX != nil {
+		dp.cost[srcW] = nodeX[dp.box.Index(src)]
+	} else {
+		dp.cost[srcW] = 0
+	}
+
+	d := dp.box.D()
+	pt := dp.pt
+	copy(pt, dp.winLo)
+	boxID := dp.box.Index(pt)
+	for w := 0; w < dp.wsize; w++ {
+		c := dp.cost[w]
+		if c < Inf {
+			base := boxID * d
+			for a := 0; a < d; a++ {
+				if pt[a]+1 >= dp.winHi[a] {
+					continue
+				}
+				nb := boxID + dp.box.stride[a]
+				nw := w + dp.wstr[a]
+				ec := c + edgeX[base+a]
+				if nodeX != nil {
+					ec += nodeX[nb]
+				}
+				if ec < dp.cost[nw] {
+					dp.cost[nw] = ec
+					dp.pred[nw] = int8(a)
+				}
+			}
+		}
+		for a := d - 1; a >= 0; a-- {
+			pt[a]++
+			boxID += dp.box.stride[a]
+			if pt[a] < dp.winHi[a] {
+				break
+			}
+			boxID -= dp.wdims[a] * dp.box.stride[a]
+			pt[a] = dp.winLo[a]
+		}
+	}
+}
+
 // CostAt returns the lightest-path cost from the source to p, or Inf if p is
 // outside the window or unreachable.
 func (dp *DP) CostAt(p []int) float64 {
@@ -331,27 +396,32 @@ func (dp *DP) CostAt(p []int) float64 {
 }
 
 // PathTo reconstructs the lightest path to p. It returns nil when p is
-// unreachable.
+// unreachable. The path is materialized in exactly three allocations (Path,
+// start coords, axes): the predecessor chain is walked once to count steps
+// and once to fill the axes in forward order.
 func (dp *DP) PathTo(p []int) *Path {
 	if dp.CostAt(p) == Inf {
 		return nil
 	}
 	cur := append([]int(nil), p...)
-	var rev []uint8
+	n := 0
 	for {
-		w := dp.winIndex(cur)
-		a := dp.pred[w]
+		a := dp.pred[dp.winIndex(cur)]
 		if a < 0 {
 			break
 		}
-		rev = append(rev, uint8(a))
+		n++
 		cur[a]--
 	}
-	// cur is now the source; reverse the axes.
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	axes := make([]uint8, n)
+	copy(cur, p)
+	for i := n - 1; i >= 0; i-- {
+		a := dp.pred[dp.winIndex(cur)]
+		axes[i] = uint8(a)
+		cur[a]--
 	}
-	return &Path{Start: cur, Axes: rev}
+	// cur is now the source.
+	return &Path{Start: cur, Axes: axes}
 }
 
 // FloorDiv returns floor(a/b) for b > 0 (Go's integer division truncates

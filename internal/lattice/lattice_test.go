@@ -270,3 +270,66 @@ func TestHopsEqualL1Quick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunFlatMatchesRun checks that the flat-slice DP produces exactly the
+// same costs and predecessors as the closure-based DP for random weight
+// assignments, with and without node weights.
+func TestRunFlatMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rng.Intn(2)
+		lo := make([]int, d)
+		hi := make([]int, d)
+		for i := range lo {
+			lo[i] = rng.Intn(3) - 1
+			hi[i] = lo[i] + 2 + rng.Intn(4)
+		}
+		b := NewBox(lo, hi)
+		edgeX := make([]float64, b.Size()*d)
+		nodeX := make([]float64, b.Size())
+		for i := range edgeX {
+			edgeX[i] = rng.Float64()
+		}
+		for i := range nodeX {
+			nodeX[i] = rng.Float64()
+		}
+		var useNode []float64
+		if trial%2 == 0 {
+			useNode = nodeX
+		}
+		var nodeW NodeWeight
+		if useNode != nil {
+			nodeW = func(id int) float64 { return nodeX[id] }
+		}
+
+		src := make([]int, d)
+		for i := range src {
+			src[i] = lo[i] + rng.Intn(hi[i]-lo[i])
+		}
+		dpA := b.NewDP()
+		dpB := b.NewDP()
+		dpA.Run(lo, hi, src, func(id, a int) float64 { return edgeX[id*d+a] }, nodeW)
+		dpB.RunFlat(lo, hi, src, edgeX, useNode)
+
+		probe := make([]int, d)
+		for id := 0; id < b.Size(); id++ {
+			b.Point(id, probe)
+			ca, cb := dpA.CostAt(probe), dpB.CostAt(probe)
+			if ca != cb {
+				t.Fatalf("trial %d point %v: Run cost %v != RunFlat cost %v", trial, probe, ca, cb)
+			}
+			if ca == Inf {
+				continue
+			}
+			pa, pb := dpA.PathTo(probe), dpB.PathTo(probe)
+			if len(pa.Axes) != len(pb.Axes) {
+				t.Fatalf("trial %d point %v: path lengths differ", trial, probe)
+			}
+			for j := range pa.Axes {
+				if pa.Axes[j] != pb.Axes[j] {
+					t.Fatalf("trial %d point %v: paths diverge at step %d", trial, probe, j)
+				}
+			}
+		}
+	}
+}

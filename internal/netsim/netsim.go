@@ -18,7 +18,9 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"gridroute/internal/dense"
 	"gridroute/internal/grid"
 	"gridroute/internal/spacetime"
 )
@@ -121,52 +123,114 @@ func (r *Result) CountKind(k OutcomeKind) int {
 	return n
 }
 
-type edgeKey struct {
-	node int
-	axis int8
-	t    int64
+// Replayer holds the reusable dense state of schedule replay. Link and
+// buffer occupancy live in epoch-stamped flat arrays over the compact
+// (node, axis, t) / (node, t) id space of the replayed time window, so a
+// warm Replayer verifies a schedule set with no hashing and no allocation.
+// A Replayer is not safe for concurrent use; ReplaySchedules draws one from
+// a pool per call.
+type Replayer struct {
+	links dense.Counts
+	bufs  dense.Counts
+	pos   grid.Vec
 }
 
-type nodeKey struct {
-	node int
-	t    int64
-}
+var replayerPool = sync.Pool{New: func() any { return new(Replayer) }}
 
 // ReplaySchedules executes explicit schedules under the given model,
 // verifying every link-capacity and buffer constraint. schedules[i] may be
 // nil for requests that were rejected. The returned result flags violations;
 // a correct algorithm produces none.
 func ReplaySchedules(g *grid.Grid, reqs []grid.Request, schedules []*spacetime.Schedule, model Model) *Result {
-	res := &Result{Outcomes: make([]Outcome, len(reqs))}
-	links := make(map[edgeKey]int)
-	bufs := make(map[nodeKey]int)
+	rp := replayerPool.Get().(*Replayer)
+	res := rp.Replay(g, reqs, schedules, model)
+	replayerPool.Put(rp)
+	return res
+}
 
-	bump := func(m map[nodeKey]int, k nodeKey, res *Result) {
-		m[k]++
-		if m[k] > res.MaxBuffer {
-			res.MaxBuffer = m[k]
+// Replay is ReplaySchedules on a reusable Replayer.
+func (rp *Replayer) Replay(g *grid.Grid, reqs []grid.Request, schedules []*spacetime.Schedule, model Model) *Result {
+	res := &Result{}
+	rp.ReplayInto(g, reqs, schedules, model, res)
+	return res
+}
+
+// ReplayInto is Replay writing into a caller-provided result, reusing its
+// slices; a warm (Replayer, Result) pair replays without allocating.
+func (rp *Replayer) ReplayInto(g *grid.Grid, reqs []grid.Request, schedules []*spacetime.Schedule, model Model, res *Result) {
+	if cap(res.Outcomes) < len(reqs) {
+		res.Outcomes = make([]Outcome, len(reqs))
+	}
+	res.Outcomes = res.Outcomes[:len(reqs)]
+	for i := range res.Outcomes {
+		res.Outcomes[i] = Outcome{}
+	}
+	res.Violation = res.Violation[:0]
+	res.MaxBuffer, res.MaxLink = 0, 0
+
+	// The occupancy universe spans the replayed time window [minT, maxT].
+	minT, maxT := int64(0), int64(-1)
+	first := true
+	for _, s := range schedules {
+		if s == nil {
+			continue
+		}
+		end := s.StartT + int64(len(s.Moves))
+		if first {
+			minT, maxT = s.StartT, end
+			first = false
+			continue
+		}
+		if s.StartT < minT {
+			minT = s.StartT
+		}
+		if end > maxT {
+			maxT = end
 		}
 	}
+	width := int(maxT - minT + 1)
+	if width < 1 {
+		width = 1
+	}
+	d := g.D()
+	rp.links.Reset(g.N() * d * width)
+	rp.bufs.Reset(g.N() * width)
 
-	for i, s := range schedules {
+	for i := range schedules {
+		s := schedules[i]
 		if s == nil {
 			continue
 		}
 		if s.Req == nil || !s.Req.Src.Eq(reqs[i].Src) || s.Req.Arrival != reqs[i].Arrival {
 			res.Violation = append(res.Violation, fmt.Sprintf("req %d: schedule/request mismatch", i))
+			if model == Model2 {
+				// Mismatched schedules still occupy the network; charge
+				// their presence so capacity verification stays sound.
+				rp.presenceWalk(g, &reqs[i], s, minT, width, res)
+			}
 			continue
 		}
-		pos := s.Src.Clone()
+		pos := append(rp.pos[:0], s.Src...)
+		rp.pos = pos
 		t := s.StartT
 		ok := true
 		for _, m := range s.Moves {
+			// Model 2 charges a buffer slot to every packet present at a
+			// node during a cycle (including forwarded ones); Model 1 only
+			// to packets held across the cycle boundary. Link accounting is
+			// model-independent. Both models fold into this single pass.
+			node := g.Index(pos)
+			if model == Model2 && !pos.Eq(reqs[i].Dst) {
+				rp.bumpBuf(node, t, minT, width, res)
+			}
 			if m == spacetime.Hold {
-				bump(bufs, nodeKey{g.Index(pos), t}, res)
+				if model == Model1 {
+					rp.bumpBuf(node, t, minT, width, res)
+				}
 			} else {
-				ek := edgeKey{g.Index(pos), int8(m), t}
-				links[ek]++
-				if links[ek] > res.MaxLink {
-					res.MaxLink = links[ek]
+				li := (node*d+int(m))*width + int(t-minT)
+				if n := rp.links.Add(li, 1); n > res.MaxLink {
+					res.MaxLink = n
 				}
 				pos[m]++
 				if pos[m] >= g.Dims[m] {
@@ -189,45 +253,47 @@ func ReplaySchedules(g *grid.Grid, reqs []grid.Request, schedules []*spacetime.S
 		}
 	}
 
-	// Model 2 presence accounting: a packet is present at a node for every
-	// cycle from its arrival there until it departs; charge each such cycle.
-	if model == Model2 {
-		bufs = make(map[nodeKey]int)
-		res.MaxBuffer = 0
-		for i, s := range schedules {
-			if s == nil {
-				continue
-			}
-			pos := s.Src.Clone()
-			t := s.StartT
-			for _, m := range s.Moves {
-				if !pos.Eq(reqs[i].Dst) {
-					bump(bufs, nodeKey{g.Index(pos), t}, res)
-				}
-				if m != spacetime.Hold {
-					pos[m]++
-					if pos[m] >= g.Dims[m] {
-						break
-					}
-				}
-				t++
-			}
+	for _, li := range rp.links.Touched() {
+		if n := rp.links.Get(int(li)); n > g.C {
+			id := int(li)
+			t := minT + int64(id%width)
+			id /= width
+			res.Violation = append(res.Violation,
+				fmt.Sprintf("link capacity exceeded: node %d axis %d t=%d: %d > %d", id/d, id%d, t, n, g.C))
 		}
 	}
+	for _, bi := range rp.bufs.Touched() {
+		if n := rp.bufs.Get(int(bi)); n > g.B {
+			id := int(bi)
+			res.Violation = append(res.Violation,
+				fmt.Sprintf("buffer exceeded: node %d t=%d: %d > %d", id/width, minT+int64(id%width), n, g.B))
+		}
+	}
+}
 
-	for k, n := range links {
-		if n > g.C {
-			res.Violation = append(res.Violation,
-				fmt.Sprintf("link capacity exceeded: node %d axis %d t=%d: %d > %d", k.node, k.axis, k.t, n, g.C))
-		}
+func (rp *Replayer) bumpBuf(node int, t, minT int64, width int, res *Result) {
+	if n := rp.bufs.Add(node*width+int(t-minT), 1); n > res.MaxBuffer {
+		res.MaxBuffer = n
 	}
-	for k, n := range bufs {
-		if n > g.B {
-			res.Violation = append(res.Violation,
-				fmt.Sprintf("buffer exceeded: node %d t=%d: %d > %d", k.node, k.t, n, g.B))
+}
+
+// presenceWalk charges Model-2 presence for a schedule that failed the
+// request cross-check (cold path).
+func (rp *Replayer) presenceWalk(g *grid.Grid, req *grid.Request, s *spacetime.Schedule, minT int64, width int, res *Result) {
+	pos := s.Src.Clone()
+	t := s.StartT
+	for _, m := range s.Moves {
+		if !pos.Eq(req.Dst) {
+			rp.bumpBuf(g.Index(pos), t, minT, width, res)
 		}
+		if m != spacetime.Hold {
+			pos[m]++
+			if pos[m] >= g.Dims[m] {
+				break
+			}
+		}
+		t++
 	}
-	return res
 }
 
 // Packet is a live packet in the policy engine.

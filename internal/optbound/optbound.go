@@ -41,26 +41,35 @@ type STPacker struct {
 	dp *lattice.DP
 
 	winLo, winHi []int
+	probe        []int
+	srcBuf       []int
+	curBuf       []int
 	edgeBuf      []ipp.EdgeID
 }
 
 // NewSTPacker builds a packer over st with the given axis capacities and
 // path-length bound pmax. bCap may be 0 (bufferless; w edges forbidden);
 // cCap must be ≥ 1.
+//
+// The edge universe of a space-time box is exactly box.Size()·(d+1) ids
+// (one per node and outgoing axis), so the packer uses the dense ipp
+// backend and the lightest-path DP indexes its weight slice directly.
 func NewSTPacker(st *spacetime.Graph, bCap, cCap float64, pmax int) *STPacker {
+	d := st.G.D()
 	sp := &STPacker{
 		ST: st, BCap: bCap, CCap: cCap,
-		dp:    st.Box.NewDP(),
-		winLo: make([]int, st.G.D()+1),
-		winHi: make([]int, st.G.D()+1),
+		dp:     st.Box.NewDP(),
+		winLo:  make([]int, d+1),
+		winHi:  make([]int, d+1),
+		probe:  make([]int, d+1),
+		srcBuf: make([]int, d+1),
 	}
-	d := st.G.D()
-	sp.pk = ipp.New(pmax, func(e ipp.EdgeID) float64 {
+	sp.pk = ipp.NewDense(pmax, func(e ipp.EdgeID) float64 {
 		if int(e)%(d+1) == d {
 			return bCap
 		}
 		return cCap
-	})
+	}, st.Box.Size()*(d+1))
 	return sp
 }
 
@@ -75,7 +84,7 @@ func (sp *STPacker) edgeID(node, axis int) ipp.EdgeID {
 // its weight, or nil when no legal path exists.
 func (sp *STPacker) LightestPath(r *grid.Request) (*lattice.Path, float64) {
 	d := sp.ST.G.D()
-	src := sp.ST.SourcePoint(r)
+	src := sp.ST.ToLattice(r.Src, r.Arrival, sp.srcBuf)
 	if !sp.ST.Box.Contains(src) {
 		return nil, 0
 	}
@@ -108,16 +117,13 @@ func (sp *STPacker) LightestPath(r *grid.Request) (*lattice.Path, float64) {
 	sp.winLo[d] = src[d]
 	sp.winHi[d] = wHi + 1
 
-	blockW := sp.BCap < 1
-	edgeW := func(id, a int) float64 {
-		if blockW && a == d {
-			return lattice.Inf
-		}
-		return sp.pk.Weight(sp.edgeID(id, a))
-	}
-	sp.dp.Run(sp.winLo, sp.winHi, src, edgeW, nil)
+	// The dense weight slice is indexed by edgeID(node, axis) = node·(d+1)+a,
+	// which is exactly RunFlat's layout. Bufferless runs need no explicit
+	// w-edge blocking: winHi[d] = src[d]+1 gives the window w-extent 1, so
+	// the DP never relaxes a w edge.
+	sp.dp.RunFlat(sp.winLo, sp.winHi, src, sp.pk.Weights(), nil)
 
-	probe := make([]int, d+1)
+	probe := sp.probe
 	copy(probe, r.Dst)
 	best := lattice.Inf
 	bestW := 0
@@ -144,7 +150,8 @@ func (sp *STPacker) Offer(r *grid.Request) (*lattice.Path, bool) {
 		return nil, false
 	}
 	sp.edgeBuf = sp.edgeBuf[:0]
-	cur := append([]int(nil), p.Start...)
+	cur := append(sp.curBuf[:0], p.Start...)
+	sp.curBuf = cur
 	for _, a := range p.Axes {
 		sp.edgeBuf = append(sp.edgeBuf, sp.edgeID(sp.ST.Box.Index(cur), int(a)))
 		cur[a]++
@@ -282,7 +289,9 @@ func ExactTiny(g *grid.Grid, reqs []grid.Request, T int64, maxPathsPerReq, maxRe
 		paths[i] = out
 	}
 
-	use := make(map[ipp.EdgeID]int)
+	// The search mutates per-edge usage on every branch; a flat slice over
+	// the box's edge universe keeps that O(1) with no hashing.
+	use := make([]int, st.Box.Size()*(d+1))
 	capOf := func(e ipp.EdgeID) int {
 		if int(e)%(d+1) == d {
 			return g.B
@@ -316,9 +325,6 @@ func ExactTiny(g *grid.Grid, reqs []grid.Request, T int64, maxPathsPerReq, maxRe
 				rec(i+1, served+1)
 				for _, e := range p {
 					use[e]--
-					if use[e] == 0 {
-						delete(use, e)
-					}
 				}
 			}
 		}

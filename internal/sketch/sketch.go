@@ -55,6 +55,7 @@ type Graph struct {
 	dstTile  []int
 	winLo    []int
 	winHi    []int
+	probe    []int
 	faceArea []int // Π side[j], j≠axis
 }
 
@@ -69,6 +70,7 @@ func New(st *spacetime.Graph, tl *tiling.Tiling, mode Mode) *Graph {
 		dstTile: make([]int, axes),
 		winLo:   make([]int, axes),
 		winHi:   make([]int, axes),
+		probe:   make([]int, axes),
 	}
 	g.faceArea = make([]int, axes)
 	for a := 0; a < axes; a++ {
@@ -81,6 +83,14 @@ func New(st *spacetime.Graph, tl *tiling.Tiling, mode Mode) *Graph {
 		g.faceArea[a] = area
 	}
 	return g
+}
+
+// Universe returns the size of the sketch graph's ipp edge-id space:
+// TBox.Size()·axes inter-tile edges followed by TBox.Size() interior edges.
+// It is the universe argument for ipp.NewDense; the resulting weight slice
+// is laid out so the lightest-path DP can index it directly (RunFlat).
+func (g *Graph) Universe() int {
+	return g.Tl.TBox.Size() * (g.axes + 1)
 }
 
 // AxisEdgeID returns the ipp edge id of the inter-tile edge leaving tileID
@@ -208,17 +218,29 @@ func (g *Graph) LightestRoute(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo,
 	g.winLo[wa] = g.srcTile[wa]
 	g.winHi[wa] = dwHi + 1
 
-	var nodeW lattice.NodeWeight
-	if g.Mode == Downscaled {
-		nodeW = func(id int) float64 { return pk.Weight(g.InteriorEdgeID(id)) }
+	if xs := pk.Weights(); xs != nil {
+		// Dense packer: AxisEdgeID(id, a) = id·axes+a matches RunFlat's edge
+		// layout, and the interior-edge weights form the contiguous tail of
+		// the universe — exactly RunFlat's node-weight slice.
+		var nodeX []float64
+		if g.Mode == Downscaled {
+			nodeX = xs[g.Tl.TBox.Size()*g.axes:]
+		}
+		g.dp.RunFlat(g.winLo, g.winHi, g.srcTile, xs, nodeX)
+	} else {
+		var nodeW lattice.NodeWeight
+		if g.Mode == Downscaled {
+			nodeW = func(id int) float64 { return pk.Weight(g.InteriorEdgeID(id)) }
+		}
+		edgeW := func(id, a int) float64 { return pk.Weight(g.AxisEdgeID(id, a)) }
+		g.dp.Run(g.winLo, g.winHi, g.srcTile, edgeW, nodeW)
 	}
-	edgeW := func(id, a int) float64 { return pk.Weight(g.AxisEdgeID(id, a)) }
-	g.dp.Run(g.winLo, g.winHi, g.srcTile, edgeW, nodeW)
 
 	// Minimize over the destination ray.
 	best := math.Inf(1)
 	bestW := 0
-	probe := append([]int(nil), g.dstTile...)
+	probe := g.probe
+	copy(probe, g.dstTile)
 	for w := dwLo; w <= dwHi; w++ {
 		probe[wa] = w
 		if c := g.dp.CostAt(probe); c < best {
