@@ -88,6 +88,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var raw []byte
+	// When benchjson runs go test itself, the child inherits this process's
+	// GOMAXPROCS, so the exact procs suffix is known (and known absent at
+	// GOMAXPROCS=1); -input files fall back to the consistency heuristic.
+	knownProcs := 0
 	if *input != "" {
 		b, err := os.ReadFile(*input)
 		if err != nil {
@@ -96,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		raw = b
 	} else {
+		knownProcs = runtime.GOMAXPROCS(0)
 		cmdArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
 		if *benchtime != "" {
 			cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
@@ -111,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		raw = b
 	}
 
-	entry, err := parseBench(string(raw))
+	entry, err := parseBench(string(raw), knownProcs)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -165,10 +170,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 //	BenchmarkName[-procs]  N  value unit  value unit  ...
 //
 // Every value/unit pair becomes a metric; repeated names (-count > 1)
-// accumulate runs under one Benchmark.
-func parseBench(out string) (Entry, error) {
+// accumulate runs under one Benchmark. The GOMAXPROCS suffix is stripped
+// only when it is consistent across every result line (and, when
+// knownProcs > 0 because the caller ran go test itself, only when it is
+// exactly -<knownProcs>; knownProcs 1 means no suffix can exist at all).
+func parseBench(out string, knownProcs int) (Entry, error) {
 	var e Entry
-	byName := map[string]int{}
+	type resultLine struct {
+		name string
+		run  Run
+	}
+	var lines []resultLine
 	for _, line := range strings.Split(out, "\n") {
 		line = strings.TrimSpace(line)
 		switch {
@@ -192,7 +204,6 @@ func parseBench(out string) (Entry, error) {
 		if len(fields) < 2 {
 			continue
 		}
-		name := trimProcs(fields[0])
 		n, err := strconv.Atoi(fields[1])
 		if err != nil {
 			continue // not a result line (e.g. "BenchmarkFoo: output")
@@ -205,30 +216,73 @@ func parseBench(out string) (Entry, error) {
 			}
 			r.Metrics[fields[i+1]] = v
 		}
+		lines = append(lines, resultLine{name: fields[0], run: r})
+	}
+	if len(lines) == 0 {
+		return e, fmt.Errorf("benchjson: no benchmark result lines found")
+	}
+	// Second pass: the GOMAXPROCS suffix is only known once every name has
+	// been seen, so grouping by trimmed name must wait for the whole parse.
+	names := make([]string, len(lines))
+	for i, l := range lines {
+		names[i] = l.name
+	}
+	suffix := commonProcsSuffix(names)
+	switch {
+	case knownProcs == 1:
+		// go test appends nothing at GOMAXPROCS=1: any consistent numeric
+		// tail is part of the benchmark names (e.g. a lone size-128 sweep).
+		suffix = ""
+	case knownProcs > 1:
+		// The suffix, if present, can only be the child's GOMAXPROCS.
+		if want := fmt.Sprintf("-%d", knownProcs); suffix != want {
+			suffix = ""
+		}
+	}
+	byName := map[string]int{}
+	for _, l := range lines {
+		name := strings.TrimSuffix(l.name, suffix)
 		idx, ok := byName[name]
 		if !ok {
 			idx = len(e.Bench)
 			byName[name] = idx
 			e.Bench = append(e.Bench, Benchmark{Name: name})
 		}
-		e.Bench[idx].Runs = append(e.Bench[idx].Runs, r)
-	}
-	if len(e.Bench) == 0 {
-		return e, fmt.Errorf("benchjson: no benchmark result lines found")
+		e.Bench[idx].Runs = append(e.Bench[idx].Runs, l.run)
 	}
 	sort.SliceStable(e.Bench, func(a, b int) bool { return e.Bench[a].Name < e.Bench[b].Name })
 	return e, nil
 }
 
-// trimProcs strips the -N GOMAXPROCS suffix go test appends to benchmark
-// names (absent when GOMAXPROCS is 1).
-func trimProcs(name string) string {
-	i := strings.LastIndexByte(name, '-')
-	if i < 0 {
-		return name
+// commonProcsSuffix returns the "-N" GOMAXPROCS suffix shared by every
+// result-line name, or "" when there is none. go test appends the same
+// GOMAXPROCS value to every benchmark name of a run (and appends nothing
+// when GOMAXPROCS is 1), so the suffix is real only when it is consistent
+// across all lines. Stripping any trailing -<number> per line — the old
+// behaviour — corrupted suffix-free runs: with GOMAXPROCS=1 a sub-benchmark
+// like BenchmarkHotPath/size-128 lost its -128 and merged with size-64's
+// runs.
+//
+// Residual -input ambiguity: a GOMAXPROCS=1 file whose every line is the
+// same single numeric-named sub-benchmark (only size-128, nothing else) is
+// textually indistinguishable from a suffixed run and still strips. When
+// benchjson runs go test itself the caller passes the child's GOMAXPROCS
+// to parseBench, which closes that hole for the common path.
+func commonProcsSuffix(names []string) string {
+	suffix := ""
+	for i, name := range names {
+		j := strings.LastIndexByte(name, '-')
+		if j < 0 {
+			return ""
+		}
+		if _, err := strconv.Atoi(name[j+1:]); err != nil {
+			return ""
+		}
+		if i == 0 {
+			suffix = name[j:]
+		} else if name[j:] != suffix {
+			return ""
+		}
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
+	return suffix
 }

@@ -8,19 +8,20 @@ import (
 	"testing"
 )
 
+// sample is a GOMAXPROCS=8 run: go test appends the same -8 to every name.
 const sample = `goos: linux
 goarch: amd64
 pkg: gridroute
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkThm4DetLine 	     220	   5836721 ns/op	         1.647 certified-ratio	 1521706 B/op	   80694 allocs/op
-BenchmarkThm4DetLine 	     182	   6376735 ns/op	         1.647 certified-ratio	 1521706 B/op	   80694 allocs/op
+BenchmarkThm4DetLine-8 	     220	   5836721 ns/op	         1.647 certified-ratio	 1521706 B/op	   80694 allocs/op
+BenchmarkThm4DetLine-8 	     182	   6376735 ns/op	         1.647 certified-ratio	 1521706 B/op	   80694 allocs/op
 BenchmarkHotPath/PackerOfferDense-8         	24690418	        48.01 ns/op	       0 B/op	       0 allocs/op
 PASS
 ok  	gridroute	12.104s
 `
 
 func TestParseBench(t *testing.T) {
-	e, err := parseBench(sample)
+	e, err := parseBench(sample, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,8 +53,109 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// Regression: with GOMAXPROCS=1 go test emits no procs suffix, so a
+// numeric-named sub-benchmark's "-128" is part of its name — stripping it
+// would merge size-128's runs into size-64's and corrupt the trajectory.
+func TestParseBenchKeepsNumericNamesWithoutProcsSuffix(t *testing.T) {
+	const procsFree = `goos: linux
+BenchmarkHotPath/size-64 	 1000000	      1042 ns/op
+BenchmarkHotPath/size-128 	  500000	      2105 ns/op
+BenchmarkHotPath/size-128 	  500000	      2098 ns/op
+PASS
+`
+	e, err := parseBench(procsFree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Bench) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (size-64 and size-128 must not merge): %+v", len(e.Bench), e.Bench)
+	}
+	if e.Bench[0].Name != "BenchmarkHotPath/size-128" || e.Bench[1].Name != "BenchmarkHotPath/size-64" {
+		t.Fatalf("numeric sub-benchmark names mangled: %q, %q", e.Bench[0].Name, e.Bench[1].Name)
+	}
+	if len(e.Bench[0].Runs) != 2 || len(e.Bench[1].Runs) != 1 {
+		t.Fatalf("runs grouped under the wrong name: %+v", e.Bench)
+	}
+}
+
+// With a real procs suffix the numeric sub-benchmark keeps its own number:
+// only the shared trailing -8 comes off.
+func TestParseBenchStripsConsistentProcsSuffix(t *testing.T) {
+	const suffixed = `BenchmarkHotPath/size-64-8 	 1000000	      1042 ns/op
+BenchmarkHotPath/size-128-8 	  500000	      2105 ns/op
+BenchmarkThm1IPP-8 	     100	   10042 ns/op
+PASS
+`
+	e, err := parseBench(suffixed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BenchmarkHotPath/size-128", "BenchmarkHotPath/size-64", "BenchmarkThm1IPP"}
+	if len(e.Bench) != len(want) {
+		t.Fatalf("got %d benchmarks, want %d", len(e.Bench), len(want))
+	}
+	for i, w := range want {
+		if e.Bench[i].Name != w {
+			t.Fatalf("name %d = %q, want %q", i, e.Bench[i].Name, w)
+		}
+	}
+}
+
+// A trailing number that differs between lines (or is missing on any line)
+// is not a procs suffix; nothing is stripped.
+func TestParseBenchInconsistentSuffixNotStripped(t *testing.T) {
+	const mixed = `BenchmarkHotPath/size-128 	  500000	      2105 ns/op
+BenchmarkThm4DetLine 	     220	   5836721 ns/op
+PASS
+`
+	e, err := parseBench(mixed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Bench) != 2 || e.Bench[0].Name != "BenchmarkHotPath/size-128" || e.Bench[1].Name != "BenchmarkThm4DetLine" {
+		t.Fatalf("inconsistent suffix must not strip: %+v", e.Bench)
+	}
+}
+
+// When benchjson ran go test itself, the child's GOMAXPROCS is known: at 1
+// no suffix exists, so even a lone numeric-named sub-benchmark (textually
+// ambiguous) keeps its number; at N only exactly -N strips.
+func TestParseBenchKnownProcs(t *testing.T) {
+	const lone = `BenchmarkHotPath/size-128 	  500000	      2105 ns/op
+BenchmarkHotPath/size-128 	  500000	      2098 ns/op
+PASS
+`
+	e, err := parseBench(lone, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Bench) != 1 || e.Bench[0].Name != "BenchmarkHotPath/size-128" {
+		t.Fatalf("GOMAXPROCS=1 must never strip: %+v", e.Bench)
+	}
+
+	const suffixed = `BenchmarkHotPath/size-128-8 	  500000	      2105 ns/op
+PASS
+`
+	e, err = parseBench(suffixed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bench[0].Name != "BenchmarkHotPath/size-128" {
+		t.Fatalf("known -8 suffix must strip: %q", e.Bench[0].Name)
+	}
+	// A consistent number that is not the known GOMAXPROCS is part of the
+	// name.
+	e, err = parseBench(suffixed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bench[0].Name != "BenchmarkHotPath/size-128-8" {
+		t.Fatalf("suffix -8 is not GOMAXPROCS=4, must not strip: %q", e.Bench[0].Name)
+	}
+}
+
 func TestParseBenchRejectsEmpty(t *testing.T) {
-	if _, err := parseBench("PASS\nok x 1s\n"); err == nil {
+	if _, err := parseBench("PASS\nok x 1s\n", 0); err == nil {
 		t.Fatal("expected error on output with no benchmarks")
 	}
 }

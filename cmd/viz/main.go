@@ -6,6 +6,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"gridroute/internal/core"
 	"gridroute/internal/grid"
@@ -15,29 +17,38 @@ import (
 )
 
 func main() {
-	fmt.Println("=== Figure 1: a 4x4 uni-directional grid ===")
-	fmt.Println(render.Grid2D(grid.New([]int{4, 4}, 2, 1)))
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "viz:", err)
+		os.Exit(1)
+	}
+}
 
-	fmt.Println("=== Figure 3d: untilted space-time lattice of a line, tiled 4x4 ===")
+// run renders every figure to w. It is main minus the process exit so the
+// figures are testable: output is deterministic (the routed request draws
+// no external randomness), and any routing failure is an error, not a
+// silently truncated figure listing.
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "=== Figure 1: a 4x4 uni-directional grid ===")
+	fmt.Fprintln(w, render.Grid2D(grid.New([]int{4, 4}, 2, 1)))
+
+	fmt.Fprintln(w, "=== Figure 3d: untilted space-time lattice of a line, tiled 4x4 ===")
 	g := grid.Line(12, 3, 3)
 	st := spacetime.New(g, 20)
 	tl := tiling.New(st.Box, []int{4, 4}, []int{0, 0})
 	c := render.NewCanvas(0, 11, -11, 20)
 	c.DrawTiles(tl)
-	fmt.Println(c.String())
+	fmt.Fprintln(w, c.String())
 
-	fmt.Println("=== Figure 5: sketch path tiles and the detailed path of a routed request ===")
+	fmt.Fprintln(w, "=== Figure 5: sketch path tiles and the detailed path of a routed request ===")
 	reqs := []grid.Request{
 		{ID: 0, Src: grid.Vec{1}, Dst: grid.Vec{10}, Arrival: 2, Deadline: grid.InfDeadline},
 	}
 	res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: 40})
 	if err != nil {
-		fmt.Println("error:", err)
-		return
+		return err
 	}
 	if res.Schedules[0] == nil {
-		fmt.Println("(request rejected — rerun)")
-		return
+		return fmt.Errorf("figure 5: request %v was rejected", reqs[0])
 	}
 	st2 := spacetime.New(g, 40)
 	tl2 := tiling.New(st2.Box, []int{res.K, res.K}, []int{0, 0})
@@ -45,10 +56,10 @@ func main() {
 	c2.DrawTiles(tl2)
 	p := st2.ScheduleToPath(res.Schedules[0])
 	c2.DrawPath(p, '#')
-	fmt.Println(c2.String())
-	fmt.Printf("request %v routed with tile side k=%d; '#' = detailed path, 'S'/'E' = endpoints\n\n", reqs[0], res.K)
+	fmt.Fprintln(w, c2.String())
+	fmt.Fprintf(w, "request %v routed with tile side k=%d; '#' = detailed path, 'S'/'E' = endpoints\n\n", reqs[0], res.K)
 
-	fmt.Println("=== Figure 8: tile quadrants (S marks the SW quadrant of each tile) ===")
+	fmt.Fprintln(w, "=== Figure 8: tile quadrants (S marks the SW quadrant of each tile) ===")
 	tl3 := tiling.New(st.Box, []int{6, 8}, []int{0, 0})
 	c3 := render.NewCanvas(0, 11, -11, 20)
 	c3.DrawTiles(tl3)
@@ -64,6 +75,7 @@ func main() {
 			}
 		}
 	}
-	fmt.Println(c3.String())
-	fmt.Println("Lower-left quarter of every Q×τ tile ('s') is the SW quadrant where Far+ requests originate (Sec. 7.2).")
+	fmt.Fprintln(w, c3.String())
+	fmt.Fprintln(w, "Lower-left quarter of every Q×τ tile ('s') is the SW quadrant where Far+ requests originate (Sec. 7.2).")
+	return nil
 }

@@ -44,12 +44,16 @@ var ErrSkipped = errors.New("sub-cases skipped")
 
 // Report is the outcome of one experiment. Run functions fill Tables and
 // Notes; the Runner stamps ID and Title from the registry entry, which is
-// their single source of truth.
+// their single source of truth. Skips holds the sorted skipped-sub-case
+// items (set by SkipList.Apply) separately from Notes so that partial
+// reports from different shards of one experiment can be merged: shards
+// share Notes byte-for-byte but each contributes its own skip items.
 type Report struct {
 	ID     string
 	Title  string
 	Tables []*stats.Table
 	Notes  []string
+	Skips  []string
 }
 
 // Markdown renders the report section exactly as it appears in
@@ -63,10 +67,26 @@ func (r Report) Markdown() string {
 		b.WriteString(t.Markdown())
 		b.WriteString("\n")
 	}
-	for _, n := range r.Notes {
+	for _, n := range r.AllNotes() {
 		fmt.Fprintf(&b, "> %s\n", n)
 	}
 	return b.String()
+}
+
+// AllNotes returns Notes plus the rendered skipped-sub-cases note (when any
+// sub-case was skipped) — the flat note list as it appears in the markdown
+// and in BENCH_experiments.json.
+func (r Report) AllNotes() []string {
+	if len(r.Skips) == 0 {
+		return r.Notes
+	}
+	notes := make([]string, 0, len(r.Notes)+1)
+	notes = append(notes, r.Notes...)
+	return append(notes, skipNote(r.Skips))
+}
+
+func skipNote(items []string) string {
+	return fmt.Sprintf("⚠ skipped sub-cases: %s.", strings.Join(items, "; "))
 }
 
 // Config carries everything an experiment is allowed to depend on: the
@@ -83,6 +103,12 @@ type Config struct {
 	// Seed is the base RNG seed; the Runner derives it from the experiment
 	// ID via SeedFor, making results independent of scheduling order.
 	Seed int64
+	// SubSelect restricts a splittable experiment (Experiment.Subcases) to
+	// the named sub-cases — the sharding hook. nil means all sub-cases.
+	// Experiments consult it via SubSelected; because every sub-case is
+	// seeded from (ID, subkey) alone, running a subset produces exactly the
+	// rows the full run would, so shards merge byte-identically.
+	SubSelect []string
 
 	// pool is the shared sub-task pool Sweep dispatches to, and lease the
 	// per-attempt slot accounting that lets the Runner reclaim slots from
@@ -93,6 +119,20 @@ type Config struct {
 	// subTimeout is Policy.SubTimeout, stamped by the Runner: the
 	// individual bound SweepResults applies to each sub-case.
 	subTimeout time.Duration
+}
+
+// SubSelected reports whether the named sub-case is part of this run: true
+// for every key when no SubSelect restriction is set (the unsharded case).
+func (c Config) SubSelected(key string) bool {
+	if len(c.SubSelect) == 0 {
+		return true
+	}
+	for _, s := range c.SubSelect {
+		if s == key {
+			return true
+		}
+	}
+	return false
 }
 
 // RNG returns a fresh deterministic generator for the given stream. Distinct
@@ -333,14 +373,14 @@ func (s *SkipList) sorted() []string {
 	return out
 }
 
-// Apply appends the skipped-sub-case note to the report, making the loss
-// visible in EXPERIMENTS.md rather than silently thinning the tables.
+// Apply records the sorted skip items on the report, making the loss
+// visible in EXPERIMENTS.md (Markdown renders them as the trailing
+// skipped-sub-cases note) rather than silently thinning the tables.
 func (s *SkipList) Apply(r *Report) {
 	if s.Len() == 0 {
 		return
 	}
-	r.Notes = append(r.Notes,
-		fmt.Sprintf("⚠ skipped sub-cases: %s.", strings.Join(s.sorted(), "; ")))
+	r.Skips = append(r.Skips, s.sorted()...)
 }
 
 // Err returns nil when nothing was skipped, and otherwise an error wrapping

@@ -154,8 +154,8 @@ func TestSkipList(t *testing.T) {
 	}
 	rep := Report{Notes: []string{"existing"}}
 	s.Apply(&rep)
-	if len(rep.Notes) != 1 {
-		t.Fatal("empty SkipList must not add a note")
+	if len(rep.Skips) != 0 || len(rep.AllNotes()) != 1 {
+		t.Fatal("empty SkipList must not add skips or a note")
 	}
 	// Record out of order (as parallel sub-tasks would): output is sorted
 	// lexicographically, so notes and errors stay deterministic at any
@@ -171,8 +171,15 @@ func TestSkipList(t *testing.T) {
 		t.Fatalf("err %q does not carry sorted skip list %q", err, want)
 	}
 	s.Apply(&rep)
-	if len(rep.Notes) != 2 || !strings.Contains(rep.Notes[1], want) {
-		t.Fatalf("notes = %v, want sorted skip note", rep.Notes)
+	if len(rep.Skips) != 2 || rep.Skips[0] != "n=256: zebra" {
+		t.Fatalf("skips = %v, want sorted skip items", rep.Skips)
+	}
+	notes := rep.AllNotes()
+	if len(notes) != 2 || !strings.Contains(notes[1], want) {
+		t.Fatalf("notes = %v, want sorted skip note last", notes)
+	}
+	if !strings.Contains(rep.Markdown(), "⚠ skipped sub-cases: "+want) {
+		t.Fatalf("markdown missing skip note:\n%s", rep.Markdown())
 	}
 }
 

@@ -180,6 +180,17 @@ func (r Runner) workers(jobs int) (expWorkers, poolSize int) {
 	return expWorkers, poolSize
 }
 
+// Job is one unit of Runner work: an experiment plus an optional
+// restriction to a subset of its sub-cases (Config.SubSelect). A sharded
+// sweep turns its unit assignment into Jobs; an unsharded sweep uses
+// whole-experiment Jobs with a nil SubSelect.
+type Job struct {
+	Experiment Experiment
+	// SubSelect restricts a splittable experiment (Experiment.Subcases) to
+	// the named sub-cases; nil runs the experiment whole.
+	SubSelect []string
+}
+
 // Stream executes the experiments and emits one Result per input on the
 // returned channel, in input order, as soon as each becomes available: a
 // small reorder buffer holds out-of-order finishers until their turn. The
@@ -188,10 +199,21 @@ func (r Runner) workers(jobs int) (expWorkers, poolSize int) {
 // Results whose Err is ctx's error, so a consumer can flush partial output
 // and still see the full accounting.
 func (r Runner) Stream(ctx context.Context, exps []Experiment) <-chan Result {
+	jobs := make([]Job, len(exps))
+	for i, e := range exps {
+		jobs[i] = Job{Experiment: e}
+	}
+	return r.StreamJobs(ctx, jobs)
+}
+
+// StreamJobs is Stream over explicit Jobs: the sharded form, where a job
+// may cover only a subset of a splittable experiment's sub-cases. The
+// streaming, ordering and drain-on-cancel contract is identical to Stream.
+func (r Runner) StreamJobs(ctx context.Context, jobList []Job) <-chan Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	expWorkers, poolSize := r.workers(len(exps))
+	expWorkers, poolSize := r.workers(len(jobList))
 	pool := newSubpool(poolSize)
 	type indexed struct {
 		i   int
@@ -202,23 +224,23 @@ func (r Runner) Stream(ctx context.Context, exps []Experiment) <-chan Result {
 	for w := 0; w < expWorkers; w++ {
 		go func() {
 			for i := range jobs {
-				e := exps[i]
+				j := jobList[i]
 				if err := ctx.Err(); err != nil {
 					// Drain without running so every index still yields a
 					// Result and the stream can close.
 					finished <- indexed{i, Result{
-						Experiment: e,
-						Report:     Report{ID: e.ID, Title: e.Title},
+						Experiment: j.Experiment,
+						Report:     Report{ID: j.Experiment.ID, Title: j.Experiment.Title},
 						Err:        err,
 					}}
 					continue
 				}
-				finished <- indexed{i, r.runOne(ctx, e, pool)}
+				finished <- indexed{i, r.runOne(ctx, j, pool)}
 			}
 		}()
 	}
 	go func() {
-		for i := range exps {
+		for i := range jobList {
 			jobs <- i
 		}
 		close(jobs)
@@ -228,7 +250,7 @@ func (r Runner) Stream(ctx context.Context, exps []Experiment) <-chan Result {
 		defer close(out)
 		pending := make(map[int]Result)
 		next := 0
-		for received := 0; received < len(exps); received++ {
+		for received := 0; received < len(jobList); received++ {
 			fin := <-finished
 			pending[fin.i] = fin.res
 			for {
@@ -245,13 +267,14 @@ func (r Runner) Stream(ctx context.Context, exps []Experiment) <-chan Result {
 	return out
 }
 
-// runOne shepherds a single experiment through the retry policy.
-func (r Runner) runOne(ctx context.Context, e Experiment, pool *subpool) Result {
+// runOne shepherds a single job through the retry policy.
+func (r Runner) runOne(ctx context.Context, j Job, pool *subpool) Result {
+	e := j.Experiment
 	res := Result{Experiment: e}
 	start := time.Now()
 	for attempt := 1; ; attempt++ {
 		res.Attempts = attempt
-		res.Report, res.Err = r.attempt(ctx, e, pool)
+		res.Report, res.Err = r.attempt(ctx, j, pool)
 		if res.Err == nil || errors.Is(res.Err, ErrSkipped) {
 			break
 		}
@@ -271,8 +294,9 @@ func (r Runner) runOne(ctx context.Context, e Experiment, pool *subpool) Result 
 // between sub-cases). With a Policy timeout the run gets its own goroutine
 // so a stuck experiment can be abandoned at the deadline — its sub-tasks
 // stop at the next Sweep cancellation check and release their pool slots.
-func (r Runner) attempt(ctx context.Context, e Experiment, pool *subpool) (Report, error) {
-	cfg := Config{Quick: r.Quick, ID: e.ID, Seed: SeedFor(e.ID), pool: pool, lease: &lease{}, subTimeout: r.Policy.SubTimeout}
+func (r Runner) attempt(ctx context.Context, j Job, pool *subpool) (Report, error) {
+	e := j.Experiment
+	cfg := Config{Quick: r.Quick, ID: e.ID, Seed: SeedFor(e.ID), SubSelect: j.SubSelect, pool: pool, lease: &lease{}, subTimeout: r.Policy.SubTimeout}
 	if r.Policy.Timeout <= 0 {
 		return safeRun(ctx, e, cfg)
 	}

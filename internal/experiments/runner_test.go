@@ -257,8 +257,8 @@ func TestRunnerDoesNotRetrySkipped(t *testing.T) {
 	if !errors.Is(res.Err, ErrSkipped) {
 		t.Fatalf("err = %v, want ErrSkipped", res.Err)
 	}
-	if !strings.Contains(strings.Join(res.Report.Notes, "\n"), "skipped sub-cases") {
-		t.Fatalf("skip list missing from notes: %v", res.Report.Notes)
+	if !strings.Contains(strings.Join(res.Report.AllNotes(), "\n"), "skipped sub-cases") {
+		t.Fatalf("skip list missing from notes: %v", res.Report.AllNotes())
 	}
 }
 
@@ -561,7 +561,7 @@ func TestAbandonedSubCaseSkipsSuppressed(t *testing.T) {
 		t.Fatalf("err = %v, want the sub-case timeout skip", res.Err)
 	}
 	if strings.Contains(res.Err.Error(), "late skip") ||
-		strings.Contains(strings.Join(res.Report.Notes, "\n"), "late skip") {
-		t.Fatalf("abandoned sub-case's skip leaked into the report: %v / %v", res.Err, res.Report.Notes)
+		strings.Contains(strings.Join(res.Report.AllNotes(), "\n"), "late skip") {
+		t.Fatalf("abandoned sub-case's skip leaked into the report: %v / %v", res.Err, res.Report.AllNotes())
 	}
 }

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Direct unit tests for the subpool lease machinery: the slot-reclaim path
+// that keeps a timed-out sub-case (Policy.SubTimeout) or an abandoned
+// attempt (Policy.Timeout) from starving every other experiment of the
+// shared -j pool.
+
+// acquireOrTimeout acquires a slot under l, failing the test if the pool
+// does not yield one promptly.
+func acquireOrTimeout(t *testing.T, p *subpool, l *lease) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := p.acquire(ctx, l); err != nil {
+		t.Fatalf("acquire: %v (slot never freed)", err)
+	}
+}
+
+// Reclaiming a lease that still holds slots frees them for other waiters,
+// and the hung holder's eventual release must not double-free.
+func TestSubpoolReclaimFreesHeldSlots(t *testing.T) {
+	p := newSubpool(1)
+	hung := &lease{}
+	acquireOrTimeout(t, p, hung) // the "stuck sub-case" holds the only slot
+
+	// A second acquire blocks until the hung lease is reclaimed.
+	waiter := &lease{}
+	got := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		got <- p.acquire(ctx, waiter)
+	}()
+	p.reclaim(hung)
+	if err := <-got; err != nil {
+		t.Fatalf("acquire after reclaim: %v", err)
+	}
+
+	// The abandoned holder finally releases: a no-op, not a free slot — the
+	// pool must still be empty while the waiter holds the reclaimed slot.
+	p.release(hung)
+	p.mu.Lock()
+	free := p.free
+	p.mu.Unlock()
+	if free != 0 {
+		t.Fatalf("free = %d after late release of a reclaimed lease, want 0 (double-free)", free)
+	}
+	p.release(waiter)
+	p.mu.Lock()
+	free = p.free
+	p.mu.Unlock()
+	if free != 1 {
+		t.Fatalf("free = %d after all releases, want 1", free)
+	}
+}
+
+// Reclaiming a parent lease frees the slots of its adopted children — the
+// attempt-timeout path, where sub-cases of the abandoned attempt hold their
+// own child leases.
+func TestSubpoolReclaimCascadesToAdoptedChildren(t *testing.T) {
+	p := newSubpool(2)
+	parent := &lease{}
+	child := &lease{}
+	acquireOrTimeout(t, p, parent)
+	acquireOrTimeout(t, p, child)
+	p.adopt(parent, child)
+
+	// Both slots are held; reclaiming the parent must free both.
+	p.reclaim(parent)
+	a, b := &lease{}, &lease{}
+	acquireOrTimeout(t, p, a)
+	acquireOrTimeout(t, p, b)
+
+	// Late releases from the abandoned pair are no-ops.
+	p.release(parent)
+	p.release(child)
+	p.mu.Lock()
+	free := p.free
+	p.mu.Unlock()
+	if free != 0 {
+		t.Fatalf("free = %d, want 0: reclaimed leases released slots back", free)
+	}
+}
+
+// A child adopted into an already-abandoned parent is reclaimed on the
+// spot: its slot returns to the pool immediately, closing the race between
+// an attempt-level reclaim and a sub-case acquiring just after it.
+func TestSubpoolAdoptIntoAbandonedParent(t *testing.T) {
+	p := newSubpool(1)
+	parent := &lease{}
+	p.reclaim(parent) // attempt abandoned before the sub-case registered
+
+	child := &lease{}
+	acquireOrTimeout(t, p, child)
+	p.adopt(parent, child)
+
+	// The adoption must have reclaimed the child's slot already.
+	next := &lease{}
+	acquireOrTimeout(t, p, next)
+	p.release(next)
+}
+
+// Repeated SubTimeout-style reclaims must never shrink the pool: after any
+// number of reclaim/late-release cycles every slot is still acquirable — no
+// starvation.
+func TestSubpoolReclaimedSlotsAreReusable(t *testing.T) {
+	const slots = 3
+	p := newSubpool(slots)
+	for round := 0; round < 50; round++ {
+		l := &lease{}
+		acquireOrTimeout(t, p, l)
+		p.reclaim(l) // sub-case timed out, slot reclaimed
+		p.release(l) // the hung goroutine finishes eventually
+	}
+	// All slots must still be there, concurrently.
+	var wg sync.WaitGroup
+	held := make([]*lease, slots)
+	for i := range held {
+		held[i] = &lease{}
+		wg.Add(1)
+		go func(l *lease) {
+			defer wg.Done()
+			acquireOrTimeout(t, p, l)
+		}(held[i])
+	}
+	wg.Wait()
+	p.mu.Lock()
+	free := p.free
+	p.mu.Unlock()
+	if free != 0 {
+		t.Fatalf("free = %d with all %d slots held, want 0", free, slots)
+	}
+	for _, l := range held {
+		p.release(l)
+	}
+	p.mu.Lock()
+	free = p.free
+	p.mu.Unlock()
+	if free != slots {
+		t.Fatalf("free = %d after releasing everything, want %d", free, slots)
+	}
+}
+
+// Double reclaim of the same lease is idempotent (the SubTimeout settle
+// path and an attempt-level reclaim can both hit one lease).
+func TestSubpoolDoubleReclaimIdempotent(t *testing.T) {
+	p := newSubpool(1)
+	l := &lease{}
+	acquireOrTimeout(t, p, l)
+	p.reclaim(l)
+	p.reclaim(l)
+	p.mu.Lock()
+	free := p.free
+	p.mu.Unlock()
+	if free != 1 {
+		t.Fatalf("free = %d after double reclaim of one held slot, want 1", free)
+	}
+}

@@ -219,6 +219,20 @@ func TestHeavyTailedShapes(t *testing.T) {
 	if last := reqs[len(reqs)-1].Arrival; last < 50 {
 		t.Fatalf("arrival span %d suspiciously small for Pareto gaps", last)
 	}
+	// Regression: the renewal clock accumulates in float and floors only on
+	// emission. The old per-gap truncation dropped every sub-unit gap to 0
+	// (P ≈ 0.65 at alpha=1.5, scale=1), collapsing ~2/3 of consecutive
+	// arrivals onto one epoch; with cumulative flooring the same-epoch
+	// fraction stays well under half.
+	sameEpoch := 0
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival == reqs[i-1].Arrival {
+			sameEpoch++
+		}
+	}
+	if 2*sameEpoch >= len(reqs)-1 {
+		t.Fatalf("%d of %d consecutive arrivals share an epoch — sub-unit Pareto gaps are being truncated", sameEpoch, len(reqs)-1)
+	}
 	_, reqs, err = Generate("zipf-hotspot", map[string]float64{"reqs": 300})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,185 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"gridroute/internal/experiments"
+	"gridroute/internal/stats"
+)
+
+// SchemaVersion identifies the shard artifact format. A merge refuses
+// artifacts with any other schema string: partial results from an old
+// binary must never be silently reinterpreted.
+const SchemaVersion = "gridroute-shard-artifact/v1"
+
+// Error kinds carried by PartResult, classifying the error that ended a
+// unit so the merge can reconstruct its semantics (errors.Is behaviour)
+// from JSON.
+const (
+	// ErrKindSkipped marks errors wrapping experiments.ErrSkipped —
+	// deterministic partial results whose skip items merge across shards.
+	ErrKindSkipped = "skipped"
+	// ErrKindCancelled marks context.Canceled: the shard was interrupted
+	// before this unit ran, so the merged sweep is partial.
+	ErrKindCancelled = "cancelled"
+	// ErrKindFailed marks every other error (including per-experiment
+	// timeouts), rendered as a failed section exactly like an unsharded run.
+	ErrKindFailed = "failed"
+)
+
+// Partition is the plan stamp every artifact carries: a merge succeeds only
+// when all artifacts agree on it and it matches the plan recomputed from
+// the merging binary's own registry.
+type Partition struct {
+	Algo        string `json:"algo"`
+	M           int    `json:"m"`
+	TotalUnits  int    `json:"total_units"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// PartResult is one executed job of a shard: a whole experiment, or the
+// part of a splittable experiment this shard was assigned (Subs non-nil).
+// Notes are the shard-independent notes (byte-identical across the parts
+// of one experiment); Skips are this part's sorted skip items, merged and
+// re-sorted across parts at merge time.
+type PartResult struct {
+	Exp       string         `json:"exp"`
+	Subs      []string       `json:"subs,omitempty"`
+	Tables    []*stats.Table `json:"tables"`
+	Notes     []string       `json:"notes,omitempty"`
+	Skips     []string       `json:"skips,omitempty"`
+	Attempts  int            `json:"attempts,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	ErrorKind string         `json:"error_kind,omitempty"`
+}
+
+// Artifact is the JSON document `cmd/experiments -shard i/m` emits: shard
+// metadata plus the results of exactly this shard's units. Partial marks a
+// shard interrupted by SIGINT — its unfinished units are still present,
+// carrying ErrKindCancelled, so the merge's accounting stays complete.
+type Artifact struct {
+	Schema    string       `json:"schema"`
+	Mode      string       `json:"mode"` // "full" or "quick"
+	Run       string       `json:"run,omitempty"`
+	Partition Partition    `json:"partition"`
+	Shard     int          `json:"shard"`
+	Partial   bool         `json:"partial,omitempty"`
+	Units     []Unit       `json:"units"`
+	Results   []PartResult `json:"results"`
+}
+
+// BuildArtifact assembles the artifact for shard idx of the plan from the
+// runner results of plan.Jobs(idx), in order.
+func BuildArtifact(plan Plan, idx int, quick bool, runPattern string, partial bool, results []experiments.Result) (Artifact, error) {
+	jobs, err := plan.Jobs(idx)
+	if err != nil {
+		return Artifact{}, err
+	}
+	if len(results) != len(jobs) {
+		return Artifact{}, fmt.Errorf("shard: %d results for %d jobs", len(results), len(jobs))
+	}
+	mode := "full"
+	if quick {
+		mode = "quick"
+	}
+	a := Artifact{
+		Schema: SchemaVersion,
+		Mode:   mode,
+		Run:    runPattern,
+		Partition: Partition{
+			Algo:        PlanAlgo,
+			M:           plan.M,
+			TotalUnits:  len(plan.Units),
+			Fingerprint: plan.Fingerprint(),
+		},
+		Shard:   idx,
+		Partial: partial,
+		Units:   plan.Assign[idx],
+	}
+	for k, res := range results {
+		if res.Experiment.ID != jobs[k].Experiment.ID {
+			return Artifact{}, fmt.Errorf("shard: result %d is %s, want %s", k, res.Experiment.ID, jobs[k].Experiment.ID)
+		}
+		p := PartResult{
+			Exp:      res.Experiment.ID,
+			Subs:     jobs[k].SubSelect,
+			Tables:   res.Report.Tables,
+			Notes:    res.Report.Notes,
+			Skips:    res.Report.Skips,
+			Attempts: res.Attempts,
+		}
+		if res.Err != nil {
+			p.Error = res.Err.Error()
+			p.ErrorKind = errKind(res.Err)
+		}
+		a.Results = append(a.Results, p)
+	}
+	return a, nil
+}
+
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, experiments.ErrSkipped):
+		return ErrKindSkipped
+	case errors.Is(err, context.Canceled):
+		return ErrKindCancelled
+	default:
+		return ErrKindFailed
+	}
+}
+
+// carriedError restores the merge-relevant identity of an error that
+// crossed a process boundary through an artifact: the original text plus
+// errors.Is answers for the two sentinel kinds.
+type carriedError struct {
+	msg  string
+	kind string
+}
+
+func (e *carriedError) Error() string { return e.msg }
+
+func (e *carriedError) Is(target error) bool {
+	switch e.kind {
+	case ErrKindSkipped:
+		return target == experiments.ErrSkipped
+	case ErrKindCancelled:
+		return target == context.Canceled
+	}
+	return false
+}
+
+// restoreError rebuilds the Result error of a part; nil when the part
+// succeeded.
+func (p PartResult) restoreError() error {
+	if p.Error == "" && p.ErrorKind == "" {
+		return nil
+	}
+	return &carriedError{msg: p.Error, kind: p.ErrorKind}
+}
+
+// WriteArtifact writes the artifact as indented JSON.
+func WriteArtifact(w io.Writer, a Artifact) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// ReadArtifact parses one artifact and validates its schema stamp.
+func ReadArtifact(r io.Reader, name string) (Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return Artifact{}, fmt.Errorf("shard: %s: not a shard artifact: %w", name, err)
+	}
+	if a.Schema != SchemaVersion {
+		return Artifact{}, fmt.Errorf("shard: %s: schema %q, want %q", name, a.Schema, SchemaVersion)
+	}
+	if a.Partition.M < 1 || a.Shard < 0 || a.Shard >= a.Partition.M {
+		return Artifact{}, fmt.Errorf("shard: %s: shard %d of %d out of range", name, a.Shard, a.Partition.M)
+	}
+	return a, nil
+}

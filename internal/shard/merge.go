@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"gridroute/internal/experiments"
+	"gridroute/internal/stats"
+)
+
+// MergedSweep is the reassembled sweep: results in canonical order, ready
+// for the exact rendering path an unsharded run uses, so markdown and
+// stable JSON come out byte-identical.
+type MergedSweep struct {
+	Quick   bool
+	Run     string // the -run selection the shards ran with
+	Partial bool   // any shard interrupted, or any unit cancelled
+	Results []experiments.Result
+}
+
+// Merge validates that the artifacts form a complete, non-overlapping
+// partition of one sweep — same schema, mode, selection and plan
+// fingerprint; shard indices covering exactly 0..m-1 once each; unit
+// assignments matching the plan recomputed from this binary's registry —
+// and reassembles the canonical results. Any validation failure returns an
+// error naming the offending artifact; nothing is merged on a partial
+// match.
+func Merge(arts []Artifact, names []string) (*MergedSweep, error) {
+	if len(arts) == 0 {
+		return nil, fmt.Errorf("shard: no artifacts to merge")
+	}
+	if len(names) != len(arts) {
+		names = make([]string, len(arts))
+		for i := range names {
+			names[i] = fmt.Sprintf("artifact %d", i)
+		}
+	}
+	ref := arts[0]
+	m := ref.Partition.M
+	byShard := make([]*Artifact, m)
+	nameOf := make([]string, m)
+	for i := range arts {
+		a, name := arts[i], names[i]
+		if a.Mode != ref.Mode || a.Run != ref.Run {
+			return nil, fmt.Errorf("shard: %s is a %q sweep of -run %q, but %s is a %q sweep of -run %q — artifacts are from different sweeps",
+				names[0], ref.Mode, ref.Run, name, a.Mode, a.Run)
+		}
+		if a.Partition != ref.Partition {
+			return nil, fmt.Errorf("shard: %s partition %+v does not match %s partition %+v — artifacts are from different plans",
+				name, a.Partition, names[0], ref.Partition)
+		}
+		// ReadArtifact already range-checks, but Merge is exported: a
+		// hand-built artifact must fail validation, not panic the indexing.
+		if a.Shard < 0 || a.Shard >= m {
+			return nil, fmt.Errorf("shard: %s covers shard %d of %d — out of range", name, a.Shard, m)
+		}
+		if byShard[a.Shard] != nil {
+			return nil, fmt.Errorf("shard: overlapping inputs: %s and %s both cover shard %d/%d",
+				nameOf[a.Shard], name, a.Shard, m)
+		}
+		byShard[a.Shard] = &arts[i]
+		nameOf[a.Shard] = name
+	}
+	var missing []string
+	for i, a := range byShard {
+		if a == nil {
+			missing = append(missing, fmt.Sprint(i))
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("shard: incomplete partition: missing shard(s) %s of %d", strings.Join(missing, ", "), m)
+	}
+
+	// Recompute the plan from this binary's registry and hold the artifacts
+	// to it: a fingerprint or unit-assignment mismatch means the shards ran
+	// a different registry (or a tampered artifact) and must not merge.
+	exps, err := experiments.Select(ref.Run)
+	if err != nil {
+		return nil, fmt.Errorf("shard: artifact selection is invalid: %w", err)
+	}
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("shard: artifact selection -run %q matches no experiments in this binary", ref.Run)
+	}
+	plan, err := NewPlan(exps, m)
+	if err != nil {
+		return nil, err
+	}
+	if fp := plan.Fingerprint(); fp != ref.Partition.Fingerprint || len(plan.Units) != ref.Partition.TotalUnits {
+		return nil, fmt.Errorf("shard: artifacts fingerprint %s (%d units) but this binary plans %s (%d units) — registry drift between shard run and merge",
+			ref.Partition.Fingerprint, ref.Partition.TotalUnits, fp, len(plan.Units))
+	}
+	for i, a := range byShard {
+		if !reflect.DeepEqual(a.Units, plan.Assign[i]) {
+			return nil, fmt.Errorf("shard: %s unit assignment does not match plan shard %d", nameOf[i], i)
+		}
+		jobs, err := plan.Jobs(i)
+		if err != nil {
+			return nil, err
+		}
+		if len(a.Results) != len(jobs) {
+			return nil, fmt.Errorf("shard: %s carries %d results for %d jobs — truncated artifact", nameOf[i], len(a.Results), len(jobs))
+		}
+		for k, job := range jobs {
+			if a.Results[k].Exp != job.Experiment.ID || !reflect.DeepEqual(a.Results[k].Subs, job.SubSelect) {
+				return nil, fmt.Errorf("shard: %s result %d covers %s/%v, want %s/%v",
+					nameOf[i], k, a.Results[k].Exp, a.Results[k].Subs, job.Experiment.ID, job.SubSelect)
+			}
+		}
+	}
+
+	merged := &MergedSweep{Quick: ref.Mode == "quick", Run: ref.Run}
+	for _, a := range byShard {
+		merged.Partial = merged.Partial || a.Partial
+	}
+	for _, e := range exps {
+		// Gather this experiment's parts in shard order (deterministic).
+		var parts []PartResult
+		for _, a := range byShard {
+			for k := range a.Results {
+				if a.Results[k].Exp == e.ID {
+					parts = append(parts, a.Results[k])
+				}
+			}
+		}
+		if len(parts) == 0 {
+			// Every selected experiment owns at least one unit, so the
+			// assignment validation above makes this unreachable.
+			return nil, fmt.Errorf("shard: no results for experiment %s", e.ID)
+		}
+		var res experiments.Result
+		if len(parts) == 1 && parts[0].Subs == nil {
+			res = wholeResult(e, parts[0])
+		} else {
+			res, err = mergeSplit(e, parts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if errors.Is(res.Err, context.Canceled) {
+			merged.Partial = true
+		}
+		merged.Results = append(merged.Results, res)
+	}
+	return merged, nil
+}
+
+// wholeResult restores the Result of an unsplit experiment verbatim.
+func wholeResult(e experiments.Experiment, p PartResult) experiments.Result {
+	return experiments.Result{
+		Experiment: e,
+		Report: experiments.Report{
+			ID:     e.ID,
+			Title:  e.Title,
+			Tables: p.Tables,
+			Notes:  p.Notes,
+			Skips:  p.Skips,
+		},
+		Err:      p.restoreError(),
+		Attempts: p.Attempts,
+	}
+}
+
+// mergeSplit reassembles a splittable experiment from the parts its shards
+// produced: table rows return to canonical sub-case order (each row's first
+// cell is its sub-case key, per the Subcases contract), shard-independent
+// notes are cross-checked, and skip items are re-merged through a SkipList
+// so the note and error text match an unsharded run byte for byte.
+func mergeSplit(e experiments.Experiment, parts []PartResult) (experiments.Result, error) {
+	res := experiments.Result{Experiment: e, Report: experiments.Report{ID: e.ID, Title: e.Title}}
+	// A cancelled part means the sub-cases it covered never ran: like an
+	// unsharded interrupted run, the experiment has no (complete) report.
+	for _, p := range parts {
+		if p.ErrorKind == ErrKindCancelled {
+			res.Err = p.restoreError()
+			return res, nil
+		}
+	}
+	// A hard-failed part fails the merged experiment, mirroring the
+	// unsharded run where any failing sub-case fails its experiment.
+	for _, p := range parts {
+		if p.ErrorKind == ErrKindFailed {
+			res.Err = p.restoreError()
+			res.Attempts = maxAttempts(parts)
+			return res, nil
+		}
+	}
+	if e.Subcases == nil {
+		return res, fmt.Errorf("shard: experiment %s was split but declares no sub-cases", e.ID)
+	}
+	var merged *stats.Table
+	var skips experiments.SkipList
+	rows := make(map[string][]string)
+	for i, p := range parts {
+		if len(p.Tables) != 1 {
+			return res, fmt.Errorf("shard: %s part %d has %d tables, want exactly 1 (Subcases contract)", e.ID, i, len(p.Tables))
+		}
+		t := p.Tables[0]
+		if merged == nil {
+			merged = &stats.Table{Title: t.Title, Header: t.Header}
+			res.Report.Notes = p.Notes
+		} else {
+			if t.Title != merged.Title || !reflect.DeepEqual(t.Header, merged.Header) {
+				return res, fmt.Errorf("shard: %s parts disagree on table shape (%q vs %q)", e.ID, t.Title, merged.Title)
+			}
+			if !reflect.DeepEqual(p.Notes, res.Report.Notes) {
+				return res, fmt.Errorf("shard: %s parts disagree on notes — sub-case results are not shard-independent", e.ID)
+			}
+		}
+		for _, row := range t.Rows {
+			if len(row) == 0 {
+				return res, fmt.Errorf("shard: %s part %d has an empty table row", e.ID, i)
+			}
+			if prev, dup := rows[row[0]]; dup && !reflect.DeepEqual(prev, row) {
+				return res, fmt.Errorf("shard: %s sub-case %q produced different rows on different shards", e.ID, row[0])
+			}
+			rows[row[0]] = row
+		}
+		for _, s := range p.Skips {
+			skips.Skip("%s", s)
+		}
+	}
+	consumed := 0
+	for _, sub := range e.Subcases() {
+		if row, ok := rows[sub]; ok {
+			merged.Rows = append(merged.Rows, row)
+			consumed++
+		}
+	}
+	if consumed != len(rows) {
+		return res, fmt.Errorf("shard: %s has %d table row(s) whose first cell is not a sub-case key — Subcases contract violated", e.ID, len(rows)-consumed)
+	}
+	res.Report.Tables = []*stats.Table{merged}
+	skips.Apply(&res.Report)
+	res.Err = skips.Err()
+	res.Attempts = maxAttempts(parts)
+	return res, nil
+}
+
+func maxAttempts(parts []PartResult) int {
+	max := 0
+	for _, p := range parts {
+		if p.Attempts > max {
+			max = p.Attempts
+		}
+	}
+	return max
+}

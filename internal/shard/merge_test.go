@@ -1,0 +1,336 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gridroute/internal/experiments"
+	"gridroute/internal/stats"
+)
+
+// Synthetic registry entries for merge tests: two whole experiments and a
+// splittable one that skips a sub-case, covering the row, note, skip and
+// error paths of the merge. Registered once per test binary.
+var registerZ = sync.Once{}
+
+const zPattern = "^Z[0-9]$"
+
+func zSubs() []string { return []string{"alpha", "beta", "gamma", "delta", "epsilon"} }
+
+func registerZExps() {
+	registerZ.Do(func() {
+		experiments.Register(experiments.Experiment{
+			ID: "Z1", Title: "whole experiment", Tags: []string{"ztest"},
+			Run: func(ctx context.Context, cfg experiments.Config) (experiments.Report, error) {
+				t := stats.NewTable("Z1 table", "n", "value")
+				t.AddRow(1, experiments.SeedFor(cfg.ID)%97)
+				return experiments.Report{Tables: []*stats.Table{t}, Notes: []string{"z1 note"}}, nil
+			},
+		})
+		experiments.Register(experiments.Experiment{
+			ID: "Z2", Title: "splittable experiment", Tags: []string{"ztest"},
+			Subcases: zSubs,
+			Run: func(ctx context.Context, cfg experiments.Config) (experiments.Report, error) {
+				t := stats.NewTable("Z2 table", "sub", "value")
+				var skips experiments.SkipList
+				for _, s := range zSubs() {
+					if !cfg.SubSelected(s) {
+						continue
+					}
+					if s == "delta" {
+						skips.Skip("%s: unavailable", s)
+						continue
+					}
+					t.AddRow(s, experiments.SeedFor(cfg.ID, s)%97)
+				}
+				rep := experiments.Report{Tables: []*stats.Table{t}, Notes: []string{"z2 shared note"}}
+				skips.Apply(&rep)
+				return rep, skips.Err()
+			},
+		})
+		experiments.Register(experiments.Experiment{
+			ID: "Z3", Title: "another whole experiment", Tags: []string{"ztest"},
+			Run: func(ctx context.Context, cfg experiments.Config) (experiments.Report, error) {
+				t := stats.NewTable("Z3 table", "n", "value")
+				t.AddRow(3, experiments.SeedFor(cfg.ID)%89)
+				return experiments.Report{Tables: []*stats.Table{t}}, nil
+			},
+		})
+	})
+}
+
+func zExps(t *testing.T) []experiments.Experiment {
+	t.Helper()
+	registerZExps()
+	exps, err := experiments.Select(zPattern)
+	if err != nil || len(exps) != 3 {
+		t.Fatalf("Select(%q) = %d experiments, err %v; want 3", zPattern, len(exps), err)
+	}
+	return exps
+}
+
+func runJobs(t *testing.T, jobs []experiments.Job) []experiments.Result {
+	t.Helper()
+	var results []experiments.Result
+	for res := range (experiments.Runner{Workers: 2}).StreamJobs(context.Background(), jobs) {
+		results = append(results, res)
+	}
+	return results
+}
+
+// renderAll is the cmd/experiments section rendering in miniature: the
+// byte-comparison surface for merged vs unsharded results.
+func renderAll(t *testing.T, results []experiments.Result) (md string, jsonBytes []byte) {
+	t.Helper()
+	var b strings.Builder
+	for _, res := range results {
+		if res.Err == nil || errors.Is(res.Err, experiments.ErrSkipped) {
+			b.WriteString(res.Report.Markdown())
+		} else {
+			fmt.Fprintf(&b, "FAILED %s after %d: %v\n", res.Experiment.ID, res.Attempts, res.Err)
+		}
+	}
+	var jb bytes.Buffer
+	if err := experiments.WriteJSONOpts(&jb, experiments.JSONOptions{Stable: true}, results); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), jb.Bytes()
+}
+
+func shardArtifacts(t *testing.T, exps []experiments.Experiment, m int) []Artifact {
+	t.Helper()
+	plan, err := NewPlan(exps, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := make([]Artifact, m)
+	for i := 0; i < m; i++ {
+		jobs, err := plan.Jobs(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := BuildArtifact(plan, i, false, zPattern, false, runJobs(t, jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts[i] = a
+	}
+	return arts
+}
+
+// The core guarantee: for m ∈ {1, 2, 3} and artifacts supplied in any
+// order, the merged results render byte-identically to an unsharded run —
+// rows back in canonical order, skip notes and ErrSkipped error text
+// reassembled, JSON stable.
+func TestMergeByteIdenticalToUnsharded(t *testing.T) {
+	exps := zExps(t)
+	unshardedJobs := make([]experiments.Job, len(exps))
+	for i, e := range exps {
+		unshardedJobs[i] = experiments.Job{Experiment: e}
+	}
+	wantMD, wantJSON := renderAll(t, runJobs(t, unshardedJobs))
+	if !strings.Contains(wantMD, "⚠ skipped sub-cases: delta: unavailable.") {
+		t.Fatalf("unsharded run missing the skip note:\n%s", wantMD)
+	}
+	for m := 1; m <= 3; m++ {
+		arts := shardArtifacts(t, exps, m)
+		// Reverse the artifact order: merging must not care.
+		rev := make([]Artifact, m)
+		for i := range arts {
+			rev[m-1-i] = arts[i]
+		}
+		merged, err := Merge(rev, nil)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if merged.Partial {
+			t.Fatalf("m=%d: complete merge marked partial", m)
+		}
+		gotMD, gotJSON := renderAll(t, merged.Results)
+		if gotMD != wantMD {
+			t.Fatalf("m=%d markdown differs:\n--- unsharded ---\n%s\n--- merged ---\n%s", m, wantMD, gotMD)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("m=%d stable JSON differs:\n--- unsharded ---\n%s\n--- merged ---\n%s", m, wantJSON, gotJSON)
+		}
+		// The split experiment's ErrSkipped identity survives the artifact
+		// round-trip (cmd/experiments renders by errors.Is, not by string).
+		for _, res := range merged.Results {
+			if res.Experiment.ID == "Z2" && !errors.Is(res.Err, experiments.ErrSkipped) {
+				t.Fatalf("m=%d: Z2 error %v lost its ErrSkipped identity", m, res.Err)
+			}
+		}
+	}
+}
+
+// Artifacts survive serialization: write, re-read, merge, same bytes.
+func TestMergeAfterArtifactRoundTrip(t *testing.T) {
+	exps := zExps(t)
+	unshardedJobs := make([]experiments.Job, len(exps))
+	for i, e := range exps {
+		unshardedJobs[i] = experiments.Job{Experiment: e}
+	}
+	wantMD, wantJSON := renderAll(t, runJobs(t, unshardedJobs))
+	arts := shardArtifacts(t, exps, 2)
+	reread := make([]Artifact, len(arts))
+	for i, a := range arts {
+		var buf bytes.Buffer
+		if err := WriteArtifact(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		r, err := ReadArtifact(&buf, fmt.Sprintf("art-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reread[i] = r
+	}
+	merged, err := Merge(reread, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMD, gotJSON := renderAll(t, merged.Results)
+	if gotMD != wantMD || !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatal("JSON round-tripped artifacts do not merge byte-identically")
+	}
+}
+
+func TestMergeRejectsBadPartitions(t *testing.T) {
+	exps := zExps(t)
+	arts := shardArtifacts(t, exps, 3)
+
+	check := func(name string, in []Artifact, wantSub string) {
+		t.Helper()
+		if _, err := Merge(in, nil); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: err = %v, want substring %q", name, err, wantSub)
+		}
+	}
+	check("incomplete", []Artifact{arts[0], arts[2]}, "incomplete partition")
+	check("overlapping", []Artifact{arts[0], arts[0], arts[1], arts[2]}, "overlapping")
+	check("empty", nil, "no artifacts")
+
+	tampered := arts[1]
+	tampered.Units = append([]Unit(nil), tampered.Units...)
+	tampered.Units[0] = Unit{Exp: "Z1"}
+	check("tampered units", []Artifact{arts[0], tampered, arts[2]}, "does not match plan")
+
+	fp := arts[1]
+	fp.Partition.Fingerprint = "deadbeefdeadbeef"
+	check("fingerprint drift", []Artifact{arts[0], fp, arts[2]}, "different plans")
+
+	mode := arts[1]
+	mode.Mode = "quick"
+	check("mode mismatch", []Artifact{arts[0], mode, arts[2]}, "different sweeps")
+
+	truncated := arts[1]
+	truncated.Results = truncated.Results[:len(truncated.Results)-1]
+	check("truncated", []Artifact{arts[0], truncated, arts[2]}, "truncated artifact")
+
+	badRun := arts[1]
+	badRun.Run = "^NoSuchExperiment$"
+	check("selection mismatch", []Artifact{arts[0], badRun, arts[2]}, "different sweeps")
+
+	// Merge is exported: a hand-built artifact (bypassing ReadArtifact)
+	// with an out-of-range shard index must fail validation, not panic.
+	oob := arts[1]
+	oob.Shard = 5
+	check("shard out of range", []Artifact{arts[0], oob, arts[2]}, "out of range")
+}
+
+// A shard interrupted by SIGINT composes: its cancelled units make the
+// merged sweep partial, and a cancelled part of a split experiment leaves
+// that experiment cancelled (errors.Is context.Canceled), exactly like an
+// unsharded interrupted run.
+func TestMergePartialShardComposes(t *testing.T) {
+	exps := zExps(t)
+	arts := shardArtifacts(t, exps, 2)
+
+	interrupted := arts[1]
+	interrupted.Partial = true
+	interrupted.Results = append([]PartResult(nil), interrupted.Results...)
+	for i := range interrupted.Results {
+		if interrupted.Results[i].Subs != nil {
+			interrupted.Results[i] = PartResult{
+				Exp:       interrupted.Results[i].Exp,
+				Subs:      interrupted.Results[i].Subs,
+				Error:     context.Canceled.Error(),
+				ErrorKind: ErrKindCancelled,
+			}
+		}
+	}
+	merged, err := Merge([]Artifact{arts[0], interrupted}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Partial {
+		t.Fatal("merge of an interrupted shard must be partial")
+	}
+	found := false
+	for _, res := range merged.Results {
+		if res.Experiment.ID == "Z2" {
+			found = true
+			if !errors.Is(res.Err, context.Canceled) {
+				t.Fatalf("Z2 err = %v, want context.Canceled identity", res.Err)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("merged results lost Z2")
+	}
+}
+
+// Parts of a split experiment must agree on their shard-independent notes;
+// disagreement means sub-case results were not machine-independent and the
+// merge must refuse rather than guess.
+func TestMergeRejectsDivergentSplitNotes(t *testing.T) {
+	exps := zExps(t)
+	arts := shardArtifacts(t, exps, 2)
+	bad := arts[1]
+	bad.Results = append([]PartResult(nil), bad.Results...)
+	for i := range bad.Results {
+		if bad.Results[i].Subs != nil {
+			bad.Results[i].Notes = []string{"a different note"}
+		}
+	}
+	if _, err := Merge([]Artifact{arts[0], bad}, nil); err == nil || !strings.Contains(err.Error(), "disagree on notes") {
+		t.Fatalf("err = %v, want notes disagreement", err)
+	}
+}
+
+// A hard-failed part fails the whole merged experiment, like an unsharded
+// run.
+func TestMergeFailedPartFailsExperiment(t *testing.T) {
+	exps := zExps(t)
+	arts := shardArtifacts(t, exps, 2)
+	bad := arts[0]
+	bad.Results = append([]PartResult(nil), bad.Results...)
+	for i := range bad.Results {
+		if bad.Results[i].Subs != nil {
+			bad.Results[i] = PartResult{
+				Exp:       bad.Results[i].Exp,
+				Subs:      bad.Results[i].Subs,
+				Attempts:  2,
+				Error:     "boom",
+				ErrorKind: ErrKindFailed,
+			}
+		}
+	}
+	merged, err := Merge([]Artifact{bad, arts[1]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range merged.Results {
+		if res.Experiment.ID == "Z2" {
+			if res.Err == nil || errors.Is(res.Err, experiments.ErrSkipped) || errors.Is(res.Err, context.Canceled) {
+				t.Fatalf("Z2 err = %v, want a hard failure", res.Err)
+			}
+			if res.Attempts != 2 {
+				t.Fatalf("Z2 attempts = %d, want the failing part's 2", res.Attempts)
+			}
+		}
+	}
+}

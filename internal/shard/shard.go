@@ -1,0 +1,138 @@
+// Package shard partitions a full experiment sweep into machine-independent
+// work units so that the sweep can run as m independent shards — on
+// separate machines, with no coordination — and be merged back into output
+// byte-identical to an unsharded run.
+//
+// The atomic unit is one (experiment, sub-case) pair: whole experiments for
+// ordinary registry entries, and one unit per sub-case for splittable
+// experiments (Experiment.Subcases — e.g. E14's scenario catalog). Because
+// every unit draws its randomness from SeedFor(id, subkey) alone, a unit
+// computes the same bytes on every machine, which is what makes the merge
+// deterministic: partitioning only decides *where* a unit runs, never
+// *what* it produces.
+//
+// A Plan is a pure function of (experiment selection, m): round-robin over
+// the canonical unit list. Its fingerprint — an FNV-1a hash of the
+// partition algorithm and the unit universe — is stamped into every shard
+// artifact, so a merge can prove all artifacts came from the same plan
+// before reassembling anything.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"gridroute/internal/experiments"
+)
+
+// PlanAlgo names the partition function baked into this package version.
+// It participates in the plan fingerprint: changing how units are assigned
+// to shards must invalidate artifacts produced under the old assignment.
+const PlanAlgo = "round-robin/v1"
+
+// Unit is one atomic work item of a sweep: an experiment, or one sub-case
+// of a splittable experiment.
+type Unit struct {
+	// Exp is the experiment registry ID.
+	Exp string `json:"exp"`
+	// Sub is the sub-case key within Exp ("" = the whole experiment).
+	Sub string `json:"sub,omitempty"`
+}
+
+func (u Unit) String() string {
+	if u.Sub == "" {
+		return u.Exp
+	}
+	return u.Exp + "/" + u.Sub
+}
+
+// Units enumerates the canonical work units of a sweep over the given
+// experiments, preserving their order: one unit per experiment, except that
+// splittable experiments (Subcases != nil) contribute one unit per sub-case
+// in sub-case order.
+func Units(exps []experiments.Experiment) []Unit {
+	var units []Unit
+	for _, e := range exps {
+		if e.Subcases == nil {
+			units = append(units, Unit{Exp: e.ID})
+			continue
+		}
+		for _, sub := range e.Subcases() {
+			units = append(units, Unit{Exp: e.ID, Sub: sub})
+		}
+	}
+	return units
+}
+
+// Plan is a deterministic partition of a sweep's units across M shards.
+type Plan struct {
+	M      int
+	Exps   []experiments.Experiment
+	Units  []Unit   // the full canonical unit list
+	Assign [][]Unit // Assign[i] = shard i's units, in canonical order
+}
+
+// NewPlan partitions the sweep over the given experiments round-robin
+// across m shards: unit j goes to shard j mod m. Round-robin over the
+// canonical unit order spreads both the many-unit experiments (E14's
+// scenarios) and the heavyweight whole experiments roughly evenly.
+func NewPlan(exps []experiments.Experiment, m int) (Plan, error) {
+	if m < 1 {
+		return Plan{}, fmt.Errorf("shard: need at least 1 shard, got %d", m)
+	}
+	if len(exps) == 0 {
+		return Plan{}, fmt.Errorf("shard: no experiments to partition")
+	}
+	p := Plan{M: m, Exps: exps, Units: Units(exps), Assign: make([][]Unit, m)}
+	for j, u := range p.Units {
+		p.Assign[j%m] = append(p.Assign[j%m], u)
+	}
+	return p, nil
+}
+
+// Fingerprint hashes the partition algorithm and the unit universe (FNV-1a
+// 64). Two plans fingerprint equal iff they partition the same units the
+// same way, so equal fingerprints plus equal M mean shard artifacts are
+// mergeable; a registry or selection drift between builds changes the unit
+// list and is caught here.
+func (p Plan) Fingerprint() string {
+	h := fnv.New64a()
+	write := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	write(PlanAlgo)
+	for _, u := range p.Units {
+		write(u.String())
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Jobs converts shard i's unit assignment into runner jobs, preserving the
+// canonical experiment order: a whole-experiment unit becomes a plain job,
+// and the sub-case units of one splittable experiment collapse into a
+// single job carrying their keys as Config.SubSelect.
+func (p Plan) Jobs(i int) ([]experiments.Job, error) {
+	if i < 0 || i >= p.M {
+		return nil, fmt.Errorf("shard: index %d out of range for %d shard(s)", i, p.M)
+	}
+	subs := make(map[string][]string)
+	whole := make(map[string]bool)
+	for _, u := range p.Assign[i] {
+		if u.Sub == "" {
+			whole[u.Exp] = true
+		} else {
+			subs[u.Exp] = append(subs[u.Exp], u.Sub)
+		}
+	}
+	var jobs []experiments.Job
+	for _, e := range p.Exps {
+		switch {
+		case whole[e.ID]:
+			jobs = append(jobs, experiments.Job{Experiment: e})
+		case len(subs[e.ID]) > 0:
+			jobs = append(jobs, experiments.Job{Experiment: e, SubSelect: subs[e.ID]})
+		}
+	}
+	return jobs, nil
+}

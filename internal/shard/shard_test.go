@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"gridroute/internal/experiments"
+	"gridroute/internal/scenario"
+)
+
+// The real registry: every experiment is one unit except the splittable
+// catalog, which contributes one unit per scenario.
+func TestUnitsEnumeratesRealRegistry(t *testing.T) {
+	exps := experiments.Registered()
+	units := Units(exps)
+	splittable := 0
+	whole := 0
+	for _, e := range exps {
+		if e.Subcases != nil {
+			splittable += len(e.Subcases())
+		} else {
+			whole++
+		}
+	}
+	if want := whole + splittable; len(units) != want {
+		t.Fatalf("%d units, want %d (%d whole + %d sub-cases)", len(units), want, whole, splittable)
+	}
+	if splittable < len(scenario.Registered()) {
+		t.Fatalf("expected the scenario catalog (%d scenarios) to be splittable, got %d sub-case units",
+			len(scenario.Registered()), splittable)
+	}
+	// Canonical order: units of one experiment are contiguous and sub-cases
+	// follow their declaration order.
+	seen := map[string]bool{}
+	last := ""
+	for _, u := range units {
+		if u.Exp != last && seen[u.Exp] {
+			t.Fatalf("units of %s are not contiguous", u.Exp)
+		}
+		seen[u.Exp] = true
+		last = u.Exp
+	}
+}
+
+// Partition soundness: for any m, every unit lands on exactly one shard,
+// and the per-shard unit lists are in canonical order.
+func TestPlanPartitionSoundness(t *testing.T) {
+	exps := experiments.Registered()
+	all := Units(exps)
+	for m := 1; m <= 6; m++ {
+		plan, err := NewPlan(exps, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := map[Unit]int{}
+		total := 0
+		for i, assigned := range plan.Assign {
+			prev := -1
+			for _, u := range assigned {
+				count[u]++
+				total++
+				// Canonical order within the shard.
+				pos := indexOf(all, u)
+				if pos < prev {
+					t.Fatalf("m=%d shard %d units out of canonical order", m, i)
+				}
+				prev = pos
+			}
+		}
+		if total != len(all) {
+			t.Fatalf("m=%d: %d assigned units, want %d", m, total, len(all))
+		}
+		for _, u := range all {
+			if count[u] != 1 {
+				t.Fatalf("m=%d: unit %s assigned %d times", m, u, count[u])
+			}
+		}
+	}
+}
+
+func indexOf(units []Unit, u Unit) int {
+	for i := range units {
+		if units[i] == u {
+			return i
+		}
+	}
+	return -1
+}
+
+// The fingerprint depends on the unit universe, not on m, and changes when
+// the universe changes.
+func TestPlanFingerprint(t *testing.T) {
+	exps := experiments.Registered()
+	p2, err := NewPlan(exps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, err := NewPlan(exps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Fingerprint() != p5.Fingerprint() {
+		t.Fatal("fingerprint must not depend on m")
+	}
+	sub, err := NewPlan(exps[:3], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Fingerprint() == p2.Fingerprint() {
+		t.Fatal("different selections must fingerprint differently")
+	}
+}
+
+// Jobs regroups a shard's units into runner jobs: whole experiments plain,
+// sub-case units collapsed into one job with SubSelect in canonical order,
+// experiment order preserved.
+func TestPlanJobs(t *testing.T) {
+	exps := experiments.Registered()
+	plan, err := NewPlan(exps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < plan.M; i++ {
+		jobs, err := plan.Jobs(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild the unit list from the jobs and compare against the
+		// assignment (grouping must lose nothing).
+		var rebuilt []Unit
+		for _, j := range jobs {
+			if j.SubSelect == nil {
+				rebuilt = append(rebuilt, Unit{Exp: j.Experiment.ID})
+			} else {
+				for _, s := range j.SubSelect {
+					rebuilt = append(rebuilt, Unit{Exp: j.Experiment.ID, Sub: s})
+				}
+			}
+		}
+		sortByCanonical(rebuilt, plan.Units)
+		assigned := append([]Unit(nil), plan.Assign[i]...)
+		sortByCanonical(assigned, plan.Units)
+		if !reflect.DeepEqual(rebuilt, assigned) {
+			t.Fatalf("shard %d: jobs cover %v, assignment is %v", i, rebuilt, assigned)
+		}
+	}
+	if _, err := plan.Jobs(3); err == nil {
+		t.Fatal("out-of-range shard index must fail")
+	}
+}
+
+func sortByCanonical(units, canonical []Unit) {
+	pos := map[Unit]int{}
+	for i, u := range canonical {
+		pos[u] = i
+	}
+	for i := 1; i < len(units); i++ {
+		for j := i; j > 0 && pos[units[j]] < pos[units[j-1]]; j-- {
+			units[j], units[j-1] = units[j-1], units[j]
+		}
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	if _, err := NewPlan(experiments.Registered(), 0); err == nil {
+		t.Fatal("m=0 must fail")
+	}
+	if _, err := NewPlan(nil, 2); err == nil {
+		t.Fatal("empty selection must fail")
+	}
+}
+
+// More shards than units: trailing shards run empty but the plan is still
+// sound (and mergeable — every unit is covered once).
+func TestPlanMoreShardsThanUnits(t *testing.T) {
+	exps := experiments.Registered()[:1]
+	units := Units(exps)
+	plan, err := NewPlan(exps, len(units)+4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, a := range plan.Assign {
+		if len(a) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != len(units) {
+		t.Fatalf("%d non-empty shards, want %d", nonEmpty, len(units))
+	}
+}
