@@ -8,7 +8,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"context"
+
 	"gridroute/internal/core"
+	"gridroute/internal/engine"
 	"gridroute/internal/grid"
 	"gridroute/internal/ipp"
 	"gridroute/internal/lattice"
@@ -95,6 +98,48 @@ func TestReplayWarmAllocFree(t *testing.T) {
 		if len(out.Violation) != 0 {
 			t.Fatalf("%v: deterministic schedules violate constraints: %v", model, out.Violation)
 		}
+	}
+}
+
+// TestEngineAdmitWarmAllocFree: the streaming admit path — envelope pool,
+// bounded queue, consumer loop, warm sketch session query, packer offer,
+// reply — must not allocate once warm. The gate pins the saturated
+// cost-reject steady state: the accept path additionally retains the route
+// into chunked arenas, which is amortized O(1) per accept but not 0.
+func TestEngineAdmitWarmAllocFree(t *testing.T) {
+	skipIfRace(t)
+	g := grid.Line(64, 3, 3)
+	eng, err := engine.New(g, engine.Options{Horizon: 256, PMax: core.PMaxDet(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pkt := engine.Packet{Src: grid.Vec{4}, Dst: grid.Vec{40}, Deadline: grid.InfDeadline}
+	// Saturate the packer on one fixed packet so every further admit takes
+	// the full query path and ends in RejectedCost.
+	for i := 0; ; i++ {
+		dec, err := eng.Admit(ctx, pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Verdict == engine.RejectedCost {
+			break
+		}
+		if i > 1<<20 {
+			t.Fatal("packer never saturated")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		dec, err := eng.Admit(ctx, pkt)
+		if err != nil || dec.Verdict != engine.RejectedCost {
+			t.Fatalf("steady state broken: %+v, %v", dec, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm engine Admit allocates %v/run, want 0", allocs)
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
 	}
 }
 

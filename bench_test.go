@@ -18,6 +18,7 @@ import (
 
 	"gridroute/internal/baseline"
 	"gridroute/internal/core"
+	"gridroute/internal/engine"
 	"gridroute/internal/experiments"
 	"gridroute/internal/grid"
 	"gridroute/internal/ipp"
@@ -125,6 +126,81 @@ func BenchmarkHotPath(b *testing.B) {
 		if len(out.Violation) != 0 {
 			b.Fatalf("violations: %v", out.Violation)
 		}
+	})
+}
+
+// BenchmarkEngineAdmit measures the streaming admission path end to end:
+// envelope pool → bounded queue → consumer loop → warm sketch query → packer
+// offer → reply. The packets/sec custom metric is the engine's headline in
+// the BENCH_hotpath.json trajectory (recorded via cmd/benchjson). Mixed
+// streams varying src/dst pairs (accepts until the packer fills, then cost
+// rejects); Saturated pins the cost-reject steady state, which is the
+// 0-alloc path gated by alloc_test.go.
+func BenchmarkEngineAdmit(b *testing.B) {
+	newEngine := func(b *testing.B) *engine.Engine {
+		b.Helper()
+		g := grid.Line(64, 3, 3)
+		eng, err := engine.New(g, engine.Options{Horizon: 256, PMax: core.PMaxDet(g), ExpectPackets: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	drain := func(b *testing.B, eng *engine.Engine) {
+		b.Helper()
+		b.StopTimer()
+		if err := eng.Drain(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// saturate admits one fixed packet until the Buchbinder–Naor threshold
+	// rejects it, so the timed region measures a steady state.
+	saturate := func(b *testing.B, eng *engine.Engine, pkt engine.Packet) {
+		b.Helper()
+		for i := 0; ; i++ {
+			dec, err := eng.Admit(context.Background(), pkt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if dec.Verdict == engine.RejectedCost {
+				return
+			}
+			if i > 1<<20 {
+				b.Fatal("packer never saturated")
+			}
+		}
+	}
+	b.Run("Mixed", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := newEngine(b)
+		ctx := context.Background()
+		pkt := engine.Packet{Src: grid.Vec{0}, Dst: grid.Vec{0}, Deadline: grid.InfDeadline}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pkt.Seq = i
+			pkt.Src[0] = i % 40
+			pkt.Dst[0] = pkt.Src[0] + 8 + i%16
+			if _, err := eng.Admit(ctx, pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+		drain(b, eng)
+	})
+	b.Run("Saturated", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := newEngine(b)
+		ctx := context.Background()
+		pkt := engine.Packet{Src: grid.Vec{4}, Dst: grid.Vec{40}, Deadline: grid.InfDeadline}
+		saturate(b, eng, pkt)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Admit(ctx, pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+		drain(b, eng)
 	})
 }
 

@@ -1,8 +1,10 @@
 // Command benchjson records benchmark results as a machine-readable perf
 // trajectory. It runs `go test -bench` (or parses an existing benchmark
 // output file), extracts every metric of every benchmark line (ns/op, B/op,
-// allocs/op, and custom metrics like certified-ratio), and writes or appends
-// a labelled entry to a JSON trajectory file such as BENCH_hotpath.json.
+// allocs/op, and custom b.ReportMetric units like certified-ratio or the
+// streaming engine's packets/sec — any value/unit pair, including
+// scientific-notation values), and writes or appends a labelled entry to a
+// JSON trajectory file such as BENCH_hotpath.json.
 //
 // Usage:
 //
@@ -70,7 +72,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	bench := fs.String("bench", "BenchmarkHotPath|BenchmarkThm4DetLine|BenchmarkThm1IPP", "benchmark selection regexp passed to go test")
+	bench := fs.String("bench", "BenchmarkHotPath|BenchmarkThm4DetLine|BenchmarkThm1IPP|BenchmarkEngineAdmit", "benchmark selection regexp passed to go test")
 	pkg := fs.String("pkg", ".", "package to benchmark")
 	count := fs.Int("count", 1, "benchmark repetitions (-count)")
 	benchtime := fs.String("benchtime", "", "benchmark duration (-benchtime), e.g. 1x or 2s")

@@ -53,6 +53,47 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// Regression: custom b.ReportMetric units ride on the result line as extra
+// value/unit pairs — the streaming engine's packets/sec (a unit with a
+// slash, large magnitudes, sometimes scientific notation) must land in
+// Run.Metrics next to the standard ns/op, B/op and allocs/op.
+func TestParseBenchCustomMetrics(t *testing.T) {
+	const engineRun = `goos: linux
+pkg: gridroute
+BenchmarkEngineAdmit/Mixed 	  263941	      1209 ns/op	    827254 packets/sec	       1 B/op	       0 allocs/op
+BenchmarkEngineAdmit/Saturated 	 2731760	      1368 ns/op	 1.366e+06 packets/sec	       0 B/op	       0 allocs/op
+PASS
+`
+	e, err := parseBench(engineRun, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Bench) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(e.Bench), e.Bench)
+	}
+	mixed, sat := e.Bench[0], e.Bench[1]
+	if mixed.Name != "BenchmarkEngineAdmit/Mixed" || sat.Name != "BenchmarkEngineAdmit/Saturated" {
+		t.Fatalf("names wrong: %q, %q", mixed.Name, sat.Name)
+	}
+	m := mixed.Runs[0].Metrics
+	if m["packets/sec"] != 827254 || m["ns/op"] != 1209 || m["B/op"] != 1 || m["allocs/op"] != 0 {
+		t.Fatalf("custom metric lost or mangled: %+v", m)
+	}
+	if got := sat.Runs[0].Metrics["packets/sec"]; got != 1.366e+06 {
+		t.Fatalf("scientific-notation metric = %v, want 1.366e+06", got)
+	}
+}
+
+// A malformed metric value must fail loudly rather than drop the pair.
+func TestParseBenchBadMetricValue(t *testing.T) {
+	const bad = `BenchmarkEngineAdmit/Mixed 	 100	 12 ns/op	 fast packets/sec
+PASS
+`
+	if _, err := parseBench(bad, 1); err == nil {
+		t.Fatal("expected error on non-numeric metric value")
+	}
+}
+
 // Regression: with GOMAXPROCS=1 go test emits no procs suffix, so a
 // numeric-named sub-benchmark's "-128" is part of its name — stripping it
 // would merge size-128's runs into size-64's and corrupt the trajectory.

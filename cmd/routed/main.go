@@ -1,0 +1,317 @@
+// Command routed runs the streaming admission engine as a long-lived
+// service: a scenario's request stream is fed packet by packet — optionally
+// from several concurrent producers — through internal/engine, which routes
+// each packet the moment it arrives against a warm space-time sketch. Live
+// accepted/rejected/latency counters go to stderr while the stream runs.
+//
+// On SIGINT (or SIGTERM) the engine drains gracefully: producers stop
+// feeding, every queued and parked packet is still decided, detailed routing
+// runs over the admitted set, and the metrics JSON is written with
+// "partial": true before the process exits 130. A completed stream exits 0.
+//
+// Every delivered schedule is re-verified one packet at a time through
+// netsim's incremental replayer — the same admit-order the engine saw — and
+// the violation count is part of the metrics (a correct run reports 0).
+//
+// Usage examples:
+//
+//	go run ./cmd/routed -scenario uniform -stats 1s
+//	go run ./cmd/routed -scenario zipf-hotspot -p reqs=5000 -producers 4 -json metrics.json
+//	go run ./cmd/routed -scenario convoy -queue 64 -throttle 2ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"gridroute/internal/core"
+	"gridroute/internal/engine"
+	"gridroute/internal/netsim"
+	"gridroute/internal/scenario"
+	"gridroute/internal/spacetime"
+)
+
+// paramFlags collects repeated -p key=val overrides.
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string { return "" }
+
+func (p paramFlags) Set(s string) error {
+	key, val, ok := strings.Cut(s, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=val, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("parameter %s: %v", key, err)
+	}
+	p[key] = v
+	return nil
+}
+
+// metrics is the service's JSON output: the engine's final counters plus the
+// routing result and its incremental replay verdict. Partial marks an
+// interrupted stream (the numbers are still internally consistent — they
+// cover exactly the packets decided before the drain finished).
+type metrics struct {
+	Scenario  string `json:"scenario"`
+	GridDims  []int  `json:"grid_dims"`
+	B         int    `json:"b"`
+	C         int    `json:"c"`
+	Requests  int    `json:"requests"`
+	Producers int    `json:"producers"`
+	Horizon   int64  `json:"horizon"`
+	PMax      int    `json:"pmax"`
+	K         int    `json:"k"`
+
+	Submitted         uint64 `json:"submitted"`
+	Accepted          uint64 `json:"accepted"`
+	RejectedCost      uint64 `json:"rejected_cost"`
+	RejectedNoRoute   uint64 `json:"rejected_no_route"`
+	RejectedInvalid   uint64 `json:"rejected_invalid"`
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	// Retries counts producer re-submissions after queue-full rejections;
+	// each retry is also one Submitted.
+	Retries   uint64 `json:"backpressure_retries"`
+	AvgWaitNs int64  `json:"avg_wait_ns"`
+
+	Throughput       int     `json:"throughput"`
+	ReachedLastTile  int     `json:"reached_last_tile"`
+	MaxLoad          float64 `json:"max_load"`
+	LoadBound        float64 `json:"load_bound"`
+	PrimalValue      float64 `json:"primal_value"`
+	ReplayViolations int     `json:"replay_violations"`
+
+	Partial bool `json:"partial"`
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Restore default signal handling once the first signal has cancelled
+	// the context, so a second ^C kills a stuck drain immediately.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run is main minus process-global state: it streams the scenario through
+// the engine and returns the exit code (0 complete, 1 runtime error, 2 usage
+// error, 130 interrupted-with-partial-metrics). Cancelling ctx triggers the
+// graceful drain.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("routed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sc := fs.String("scenario", "uniform", "workload scenario ID feeding the engine")
+	params := paramFlags{}
+	fs.Var(params, "p", "scenario parameter override key=val (repeatable)")
+	seed := fs.Int64("seed", 0, "scenario seed (0 = scenario default stream)")
+	producers := fs.Int("producers", 1, "concurrent producer goroutines feeding the engine")
+	queue := fs.Int("queue", engine.DefaultQueue, "admission queue bound (full queue = backpressure reject)")
+	throttle := fs.Duration("throttle", 0, "pause between submissions per producer (paces the feed)")
+	statsEvery := fs.Duration("stats", 0, "live counter interval on stderr (0 = off)")
+	jsonPath := fs.String("json", "", "write the metrics JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *producers < 1 {
+		fmt.Fprintln(stderr, "routed: -producers must be ≥ 1")
+		return 2
+	}
+	if *seed != 0 {
+		if int64(float64(*seed)) != *seed {
+			fmt.Fprintf(stderr, "seed %d exceeds exact float64 range (±2^53); pick a smaller seed\n", *seed)
+			return 2
+		}
+		if _, dup := params["seed"]; !dup {
+			params["seed"] = float64(*seed)
+		}
+	}
+
+	stream, err := scenario.NewStream(*sc, params)
+	if err != nil {
+		// Unknown scenarios and bad parameters are usage errors; the
+		// message already lists the valid choices.
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	g, reqs := stream.Grid(), stream.Requests()
+	horizon := spacetime.SuggestHorizon(g, reqs, 3)
+	pmax := core.PMaxDet(g)
+	eng, err := engine.New(g, engine.Options{
+		Horizon: horizon, PMax: pmax,
+		Queue: *queue, ExpectPackets: len(reqs),
+		// InOrder keeps the decision sequence (and therefore every metric
+		// below) independent of producer interleaving.
+		InOrder: true,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "routed:", err)
+		return 1
+	}
+	_, _, k := eng.Params()
+	fmt.Fprintf(stderr, "routed: %s — %d requests, grid %v B=%d c=%d, horizon %d, pmax %d, k %d, queue %d, %d producer(s)\n",
+		*sc, len(reqs), g.Dims, g.B, g.C, horizon, pmax, k, *queue, *producers)
+
+	var retries atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < *producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Strided partition: producer p owns seqs p, p+P, p+2P, …,
+			// submitted in increasing order, so the engine's in-order
+			// consumer always has a live owner for the next seq.
+			for i := p; i < len(reqs); i += *producers {
+				pkt := engine.PacketOf(&reqs[i])
+				for {
+					dec, err := eng.Admit(ctx, pkt)
+					if err != nil {
+						return // interrupted or closed: stop feeding
+					}
+					if dec.Verdict != engine.RejectedQueueFull {
+						break
+					}
+					// Backpressure: the bounded queue bounced the packet;
+					// retry after a short pause, like a paced ingress port.
+					retries.Add(1)
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(200 * time.Microsecond):
+					}
+				}
+				if *throttle > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(*throttle):
+					}
+				}
+			}
+		}(p)
+	}
+
+	statsDone := make(chan struct{})
+	statsExited := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			defer close(statsExited)
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-statsDone:
+					return
+				case <-tick.C:
+					s := eng.Stats()
+					fmt.Fprintf(stderr, "routed: t=%s submitted=%d accepted=%d rejected=%d queue=%d avg-wait=%s\n",
+						time.Since(start).Round(time.Millisecond), s.Submitted, s.Accepted, s.Rejected(), s.QueueLen, s.AvgWait)
+				}
+			}
+		}()
+	} else {
+		close(statsExited)
+	}
+
+	wg.Wait()
+	close(statsDone)
+	// Wait the ticker out: a tick mid-print must not interleave with the
+	// summary below (stderr may be a plain buffer under test).
+	<-statsExited
+	interrupted := ctx.Err() != nil
+
+	// Graceful drain: decide everything queued or parked, then run detailed
+	// routing. A fresh context bounds the drain so a wedged consumer cannot
+	// hang the shutdown.
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := eng.Drain(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "routed: drain:", err)
+		return 1
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		fmt.Fprintln(stderr, "routed:", err)
+		return 1
+	}
+
+	// Re-verify the delivered schedules packet by packet, in admission
+	// order, against the real link/buffer capacities.
+	violations := 0
+	if len(res.Admitted) > 0 {
+		minT, maxT := res.Horizon, int64(0)
+		for _, s := range res.Schedules {
+			if s == nil {
+				continue
+			}
+			if s.StartT < minT {
+				minT = s.StartT
+			}
+			if end := s.StartT + int64(len(s.Moves)); end > maxT {
+				maxT = end
+			}
+		}
+		inc := netsim.NewIncremental(g, netsim.Model1, minT, maxT)
+		for j, s := range res.Schedules {
+			if s != nil {
+				inc.Add(res.Admitted[j].Req, s)
+			}
+		}
+		violations = len(inc.Violations())
+	}
+
+	s := res.Stats
+	m := metrics{
+		Scenario: *sc, GridDims: g.Dims, B: g.B, C: g.C,
+		Requests: len(reqs), Producers: *producers,
+		Horizon: res.Horizon, PMax: res.PMax, K: res.K,
+		Submitted: s.Submitted, Accepted: s.Accepted,
+		RejectedCost: s.RejectedCost, RejectedNoRoute: s.RejectedNoRoute,
+		RejectedInvalid: s.RejectedInvalid, RejectedQueueFull: s.RejectedQueueFull,
+		Retries: retries.Load(), AvgWaitNs: int64(s.AvgWait),
+		Throughput: res.Throughput, ReachedLastTile: res.ReachedLastTile,
+		MaxLoad: res.MaxLoad, LoadBound: res.LoadBound, PrimalValue: res.PrimalValue,
+		ReplayViolations: violations,
+		Partial:          interrupted,
+	}
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "routed:", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(stderr, "routed:", err)
+			return 1
+		}
+	} else {
+		if _, err := stdout.Write(out); err != nil {
+			fmt.Fprintln(stderr, "routed:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "routed: done in %s — decided %d/%d, accepted %d, delivered %d, replay violations %d%s\n",
+		time.Since(start).Round(time.Millisecond), s.Decided(), len(reqs), s.Accepted, res.Throughput, violations,
+		map[bool]string{true: " (partial: interrupted)", false: ""}[interrupted])
+	if interrupted {
+		return 130
+	}
+	return 0
+}

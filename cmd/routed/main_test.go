@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func decodeMetrics(t *testing.T, out []byte) metrics {
+	t.Helper()
+	var m metrics
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, out)
+	}
+	return m
+}
+
+func TestRunCompleteStream(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{
+		"-scenario", "uniform", "-p", "n=32", "-p", "reqs=80", "-p", "maxt=64",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	m := decodeMetrics(t, out.Bytes())
+	if m.Partial {
+		t.Fatal("complete stream marked partial")
+	}
+	if m.Requests != 80 || m.Accepted == 0 || m.Throughput == 0 {
+		t.Fatalf("implausible metrics: %+v", m)
+	}
+	if m.Accepted+m.RejectedCost+m.RejectedNoRoute+m.RejectedInvalid != uint64(m.Requests) {
+		t.Fatalf("decided packets don't cover the stream: %+v", m)
+	}
+	if m.ReplayViolations != 0 {
+		t.Fatalf("replay violations on a correct run: %+v", m)
+	}
+}
+
+// TestRunProducersDeterministic checks the InOrder engine makes the service
+// metrics independent of producer parallelism (queue-full retries aside).
+func TestRunProducersDeterministic(t *testing.T) {
+	results := make([]metrics, 2)
+	for i, producers := range []string{"1", "4"} {
+		var out, errb bytes.Buffer
+		code := run(context.Background(), []string{
+			"-scenario", "zipf-hotspot", "-p", "n=32", "-p", "reqs=120", "-p", "maxt=64",
+			"-producers", producers,
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("producers=%s: exit %d, stderr:\n%s", producers, code, errb.String())
+		}
+		results[i] = decodeMetrics(t, out.Bytes())
+	}
+	a, b := results[0], results[1]
+	if a.Accepted != b.Accepted || a.Throughput != b.Throughput || a.MaxLoad != b.MaxLoad || a.PrimalValue != b.PrimalValue {
+		t.Fatalf("metrics depend on producer count:\n1: %+v\n4: %+v", a, b)
+	}
+}
+
+// TestRunInterruptedMidStream cancels the feed context mid-stream (the
+// SIGINT path) and checks the graceful drain: exit 130 plus a valid partial
+// metrics document whose counters are internally consistent.
+func TestRunInterruptedMidStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	var out, errb bytes.Buffer
+	// The throttle paces the feed so the cancel reliably lands mid-stream.
+	code := run(ctx, []string{
+		"-scenario", "uniform", "-p", "n=32", "-p", "reqs=500", "-p", "maxt=256",
+		"-throttle", "5ms", "-stats", "50ms",
+	}, &out, &errb)
+	if code != 130 {
+		t.Fatalf("exit %d, want 130; stderr:\n%s", code, errb.String())
+	}
+	m := decodeMetrics(t, out.Bytes())
+	if !m.Partial {
+		t.Fatal("interrupted stream not marked partial")
+	}
+	decided := m.Accepted + m.RejectedCost + m.RejectedNoRoute + m.RejectedInvalid
+	if decided == 0 || decided >= uint64(m.Requests) {
+		t.Fatalf("interrupt did not land mid-stream: decided %d of %d", decided, m.Requests)
+	}
+	if m.ReplayViolations != 0 {
+		t.Fatalf("partial run has replay violations: %+v", m)
+	}
+	if !strings.Contains(errb.String(), "partial: interrupted") {
+		t.Fatalf("summary line missing interrupt note:\n%s", errb.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "no-such-scenario"},
+		{"-p", "notakeyval"},
+		{"-producers", "0"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

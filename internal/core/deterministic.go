@@ -1,15 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gridroute/internal/detroute"
+	"gridroute/internal/engine"
 	"gridroute/internal/grid"
-	"gridroute/internal/ipp"
 	"gridroute/internal/optbound"
-	"gridroute/internal/sketch"
 	"gridroute/internal/spacetime"
-	"gridroute/internal/tiling"
 )
 
 // DetConfig tunes the deterministic framework. The zero value follows the
@@ -89,18 +88,18 @@ func RunDeterministic(g *grid.Grid, reqs []grid.Request, cfg DetConfig) (*DetRes
 		k = TileSideDet(pmax)
 	}
 
-	st := spacetime.New(g, horizon)
-	d := g.D()
-	side := make([]int, d+1)
-	phase := make([]int, d+1)
-	for i := range side {
-		side[i] = k
+	// The batch algorithm is the streaming engine fed sequentially: one
+	// producer streams the (already arrival-sorted) requests through Admit,
+	// which issues exactly the LightestRoute/Offer sequence of the old
+	// in-line loop — results are byte-identical, and the engine's warm
+	// sketch/packer state is built once, not per request.
+	eng, err := engine.New(g, engine.Options{
+		Horizon: horizon, PMax: pmax, TileSide: k,
+		Queue: 1, ExpectPackets: len(reqs),
+	})
+	if err != nil {
+		return nil, err
 	}
-	tl := tiling.New(st.Box, side, phase)
-	sk := sketch.New(st, tl, sketch.Downscaled)
-	// Splitting tiles doubles path length plus one (Sec. 5.1). The sketch
-	// edge universe is compact, so the packer runs in dense (flat-array) mode.
-	pk := ipp.NewDense(2*pmax+1, sk.Cap, sk.Universe())
 
 	res := &DetResult{
 		Grid: g, Horizon: horizon, PMax: pmax, K: k,
@@ -108,38 +107,33 @@ func RunDeterministic(g *grid.Grid, reqs []grid.Request, cfg DetConfig) (*DetRes
 		Schedules: make([]*spacetime.Schedule, len(reqs)),
 	}
 
-	var admitted []detroute.Admitted
-	var admIdx []int
+	ctx := context.Background()
 	for i := range reqs {
-		r := &reqs[i]
-		src := st.SourcePoint(r)
-		wLo, wHi := st.DestRay(r)
-		if g.B == 0 {
-			// Bufferless: the only reachable copy shares the source's w.
-			wLo, wHi = src[d], src[d]
+		// Seq is the request's index, not its ID: RunDeterministic accepts
+		// arbitrary request sequences whose IDs need not be 0..n−1.
+		pkt := engine.PacketOf(&reqs[i])
+		pkt.Seq = i
+		dec, err := eng.Admit(ctx, pkt)
+		if err != nil {
+			return nil, err
 		}
-		route := sk.LightestRoute(pk, src, r.Dst, wLo, wHi, pmax)
-		if route == nil {
-			pk.Offer(nil, 0)
-			continue
-		}
-		if !pk.Offer(route.Edges, route.Cost) {
-			continue
-		}
-		res.Outcomes[i].Admitted = true
-		admitted = append(admitted, detroute.Admitted{Req: r, Route: route})
-		admIdx = append(admIdx, i)
+		res.Outcomes[i].Admitted = dec.Admitted()
 	}
-	res.Admitted = len(admitted)
-	res.MaxLoad = pk.MaxLoad()
-	res.LoadBound = pk.LoadBound()
-	res.PrimalValue = pk.PrimalValue()
+	if err := eng.Drain(ctx); err != nil {
+		return nil, err
+	}
+	fin, err := eng.Finish()
+	if err != nil {
+		return nil, err
+	}
 
-	router := detroute.New(st, sk)
-	outs, stats := router.Run(admitted)
-	res.RouteStats = stats
-	for j, o := range outs {
-		i := admIdx[j]
+	res.Admitted = len(fin.Admitted)
+	res.MaxLoad = fin.MaxLoad
+	res.LoadBound = fin.LoadBound
+	res.PrimalValue = fin.PrimalValue
+	res.RouteStats = fin.RouteStats
+	for j, o := range fin.Outcomes {
+		i := fin.Admitted[j].Req.ID // the Seq stamped above
 		ro := &res.Outcomes[i]
 		ro.ReachedLastTile = o.ReachedLastTile
 		if o.ReachedLastTile {
@@ -149,7 +143,10 @@ func RunDeterministic(g *grid.Grid, reqs []grid.Request, cfg DetConfig) (*DetRes
 			ro.Delivered = true
 			ro.DeliveredAt = o.DeliveredAt
 			res.Throughput++
-			res.Schedules[i] = st.PathToSchedule(&reqs[i], o.Path)
+			// Re-point the engine-built schedule at the caller's request.
+			s := fin.Schedules[j]
+			s.Req = &reqs[i]
+			res.Schedules[i] = s
 		} else if o.Delivered {
 			// Late delivery: counts as a loss; record as last-tile drop.
 			ro.DroppedIn = detroute.PartLastTile

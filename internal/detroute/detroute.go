@@ -223,15 +223,22 @@ func (rt *Router) Run(admitted []Admitted) ([]Outcome, Stats) {
 		all[i] = p
 	}
 
-	// Injection order: packets sorted by arrival time (stably, so same-time
-	// packets keep their admission order), consumed by a cursor in the time
-	// sweep. Admitted requests are usually already arrival-sorted, making
-	// this a no-op pass.
-	arrOrder := make([]*pkt, len(all))
-	copy(arrOrder, all)
-	sort.SliceStable(arrOrder, func(a, b int) bool {
-		return arrOrder[a].req.Arrival < arrOrder[b].req.Arrival
-	})
+	// Injection order: packets by arrival time (same-time packets keep their
+	// admission order), consumed by a cursor in the time sweep. Admission
+	// preserves the scenario.Generate arrival-order invariant, so admitted
+	// requests arrive here already sorted — verify with one linear pass and
+	// only fall back to a stable sort for hand-built unsorted inputs.
+	arrOrder := all
+	for i := 1; i < len(all); i++ {
+		if all[i].req.Arrival < all[i-1].req.Arrival {
+			arrOrder = make([]*pkt, len(all))
+			copy(arrOrder, all)
+			sort.SliceStable(arrOrder, func(a, b int) bool {
+				return arrOrder[a].req.Arrival < arrOrder[b].req.Arrival
+			})
+			break
+		}
+	}
 	var minT int64
 	if len(arrOrder) > 0 {
 		minT = arrOrder[0].req.Arrival

@@ -1,0 +1,491 @@
+// Package engine hosts the streaming admission core of the deterministic
+// algorithm (Sec. 4–6 of Even–Medina): a long-lived Engine owns one warm
+// space-time sketch and one dense integral-path-packing state and admits
+// packets one at a time, in arrival order, as they are submitted — no
+// spacetime, sketch or tiling state is rebuilt between admits.
+//
+// The Engine is the online counterpart of core.RunDeterministic's batch
+// loop, and the batch runner is now expressed over it: streaming a request
+// sequence through Admit issues exactly the same LightestRoute/Offer call
+// sequence as the old in-line loop, so batch results are byte-identical.
+// What the Engine adds is a concurrency boundary: any number of producer
+// goroutines may call Admit concurrently; a single consumer goroutine owns
+// the mutable routing state and decides packets strictly one at a time.
+//
+// Backpressure is real, not simulated: the admission queue is a bounded
+// channel sized by Options.Queue, and a packet arriving at a full queue is
+// rejected immediately with RejectedQueueFull — the streaming analogue of
+// the paper's bounded buffers (a router with full ingress buffers drops).
+//
+// The warm admit path is allocation-free in steady state: the sketch query
+// session, the DP path, the route scratch and the per-packet envelopes are
+// all reused, and accepted packets are retained in chunked, pointer-stable
+// arenas (see alloc_test.go's gate at the repository root).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridroute/internal/detroute"
+	"gridroute/internal/grid"
+	"gridroute/internal/ipp"
+	"gridroute/internal/sketch"
+	"gridroute/internal/spacetime"
+	"gridroute/internal/tiling"
+)
+
+// Verdict classifies an admission decision.
+type Verdict uint8
+
+const (
+	// Accepted: the packer assigned a sketch route; the packet was injected.
+	Accepted Verdict = iota
+	// RejectedCost: a lightest route exists but its weight α(p) ≥ 1
+	// (the Buchbinder–Naor admission threshold).
+	RejectedCost
+	// RejectedNoRoute: no legal sketch route (destination ray empty or
+	// unreachable within pmax tiles).
+	RejectedNoRoute
+	// RejectedInvalid: the packet is infeasible on the grid or violates the
+	// engine's arrival-order watermark. Invalid packets never touch the
+	// packer.
+	RejectedInvalid
+	// RejectedQueueFull: the bounded admission queue was full at submission
+	// time (backpressure). Queue-full packets never reach the consumer loop
+	// and are absent from the decision log.
+	RejectedQueueFull
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Accepted:
+		return "accepted"
+	case RejectedCost:
+		return "rejected-cost"
+	case RejectedNoRoute:
+		return "rejected-no-route"
+	case RejectedInvalid:
+		return "rejected-invalid"
+	case RejectedQueueFull:
+		return "rejected-queue-full"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// Packet is one admission attempt. Seq is the packet's position in the
+// online order: in InOrder mode every sequence number from FirstSeq upward
+// must be submitted exactly once, and decisions are made in Seq order
+// regardless of producer interleaving. Src and Dst are copied at submission
+// time, so the caller may reuse the backing slices as soon as Admit returns.
+// Deadline uses the grid.Request convention: grid.InfDeadline means none.
+type Packet struct {
+	Seq      int
+	Src      grid.Vec
+	Dst      grid.Vec
+	Arrival  int64
+	Deadline int64
+}
+
+// PacketOf converts a request into its packet form, with Seq = r.ID.
+func PacketOf(r *grid.Request) Packet {
+	return Packet{Seq: r.ID, Src: r.Src, Dst: r.Dst, Arrival: r.Arrival, Deadline: r.Deadline}
+}
+
+// Decision is the engine's verdict on one packet.
+type Decision struct {
+	Seq     int
+	Verdict Verdict
+	// Cost is the weight α(p) of the lightest sketch route at decision time
+	// (meaningful for Accepted and RejectedCost).
+	Cost float64
+	// Tiles is the number of tiles of the assigned route (Accepted only).
+	Tiles int
+	// Wait is the wall-clock latency from submission to decision. It is the
+	// only non-deterministic Decision field: determinism tests compare
+	// decisions with Wait stripped.
+	Wait time.Duration
+}
+
+// Admitted reports whether the packet was injected.
+func (d Decision) Admitted() bool { return d.Verdict == Accepted }
+
+// Options configures an Engine.
+type Options struct {
+	// Horizon is the last simulated time step. It must be positive: a
+	// streaming engine cannot derive a horizon from a workload it has not
+	// seen (batch callers use spacetime.SuggestHorizon).
+	Horizon int64
+	// PMax is the maximum sketch-path length. It must be positive; batch
+	// callers use core.PMaxDet.
+	PMax int
+	// TileSide is the tile side k; 0 derives ⌈log₂(1+3·pmax)⌉.
+	TileSide int
+	// Queue bounds the admission queue (the engine's ingress buffer);
+	// 0 means DefaultQueue. Admit rejects with RejectedQueueFull when full.
+	Queue int
+	// ExpectPackets pre-sizes the accepted-packet arenas. Purely an
+	// optimization: the arenas grow in chunks regardless.
+	ExpectPackets int
+	// InOrder makes the consumer loop decide packets in strictly increasing
+	// Seq order, parking early arrivals — the mode that makes the decision
+	// log deterministic under concurrent producers. Every Seq from FirstSeq
+	// upward must then be submitted exactly once; a gap stalls later
+	// packets until Drain. Off, packets are decided in queue order.
+	InOrder bool
+	// FirstSeq is the first sequence number in InOrder mode (default 0).
+	FirstSeq int
+	// RecordDecisions retains every consumer-loop decision for
+	// Result.Decisions (queue-full rejections are not recorded: they never
+	// reach the loop).
+	RecordDecisions bool
+}
+
+// DefaultQueue is the admission queue bound when Options.Queue is 0.
+const DefaultQueue = 256
+
+// Stats is a point-in-time snapshot of the engine's counters, safe to read
+// from any goroutine while the engine runs.
+type Stats struct {
+	Submitted         uint64
+	Accepted          uint64
+	RejectedCost      uint64
+	RejectedNoRoute   uint64
+	RejectedInvalid   uint64
+	RejectedQueueFull uint64
+	// QueueLen is the number of packets waiting in the admission queue.
+	QueueLen int
+	// AvgWait is the mean submission-to-decision latency over decided
+	// packets (queue-full rejections excluded: they are decided at the
+	// gate, not by the loop).
+	AvgWait time.Duration
+}
+
+// Rejected is the total over all rejection verdicts.
+func (s Stats) Rejected() uint64 {
+	return s.RejectedCost + s.RejectedNoRoute + s.RejectedInvalid + s.RejectedQueueFull
+}
+
+// Decided is the number of packets that reached the consumer loop and were
+// decided.
+func (s Stats) Decided() uint64 {
+	return s.Accepted + s.RejectedCost + s.RejectedNoRoute + s.RejectedInvalid
+}
+
+// ErrClosed is returned by Admit after Drain has begun.
+var ErrClosed = errors.New("engine: closed to new admissions")
+
+// pending is the envelope of one in-flight admission: the packet (with
+// engine-owned coordinate copies), the submission timestamp and a reply
+// channel. Envelopes are pooled; ownership passes submit → loop → submitter,
+// and only the submitter returns one to the pool (after consuming the
+// reply), so a reply can never leak into a recycled envelope.
+type pending struct {
+	pkt      Packet
+	src, dst []int
+	enq      time.Time
+	reply    chan Decision
+}
+
+// Engine is a long-lived streaming admission core. Create with New, submit
+// with Admit from any number of goroutines, stop with Drain, collect with
+// Finish.
+type Engine struct {
+	g       *grid.Grid
+	st      *spacetime.Graph
+	tl      *tiling.Tiling
+	sk      *sketch.Graph
+	sess    *sketch.Session
+	pk      *ipp.Packer
+	horizon int64
+	pmax    int
+	k       int
+	d       int
+
+	inOrder bool
+	record  bool
+
+	in   chan *pending
+	done chan struct{}
+	mu   sync.RWMutex // guards closed against concurrent Admit/Drain
+	shut bool
+
+	pool sync.Pool
+
+	// Consumer-loop state (owned by the loop goroutine; read by Finish only
+	// after done is closed).
+	nextSeq   int
+	parked    map[int]*pending
+	watermark int64
+	srcBuf    []int
+	scratch   sketch.Route
+	admitted  []detroute.Admitted
+	decisions []Decision
+	arena     arena
+
+	submitted  atomic.Uint64
+	accepted   atomic.Uint64
+	rejCost    atomic.Uint64
+	rejNoRoute atomic.Uint64
+	rejInvalid atomic.Uint64
+	rejQFull   atomic.Uint64
+	decided    atomic.Uint64
+	waitNs     atomic.Int64
+
+	finishOnce sync.Once
+	result     *Result
+}
+
+// New builds the engine's persistent routing state — space-time graph,
+// tiling, sketch, one query session, one dense packer, exactly as the batch
+// deterministic algorithm does — and starts the consumer loop.
+func New(g *grid.Grid, opts Options) (*Engine, error) {
+	if g.B != 0 && (g.B < 3 || g.C < 3) {
+		return nil, fmt.Errorf("engine: deterministic admission requires B, c ≥ 3 (or B = 0, c ≥ 3); got B=%d c=%d", g.B, g.C)
+	}
+	if g.B == 0 && g.C < 3 {
+		return nil, fmt.Errorf("engine: bufferless variant requires c ≥ 3; got c=%d", g.C)
+	}
+	if opts.Horizon <= 0 {
+		return nil, errors.New("engine: Options.Horizon must be positive (use spacetime.SuggestHorizon for batch workloads)")
+	}
+	if opts.PMax <= 0 {
+		return nil, errors.New("engine: Options.PMax must be positive (use core.PMaxDet for the paper's bound)")
+	}
+	k := opts.TileSide
+	if k == 0 {
+		k = ipp.K(opts.PMax)
+	}
+	queue := opts.Queue
+	if queue <= 0 {
+		queue = DefaultQueue
+	}
+
+	st := spacetime.New(g, opts.Horizon)
+	d := g.D()
+	side := make([]int, d+1)
+	phase := make([]int, d+1)
+	for i := range side {
+		side[i] = k
+	}
+	tl := tiling.New(st.Box, side, phase)
+	sk := sketch.New(st, tl, sketch.Downscaled)
+	// Splitting tiles doubles path length plus one (Sec. 5.1); dense mode,
+	// same as the batch path.
+	pk := ipp.NewDense(2*opts.PMax+1, sk.Cap, sk.Universe())
+
+	e := &Engine{
+		g: g, st: st, tl: tl, sk: sk, sess: sk.NewSession(), pk: pk,
+		horizon: opts.Horizon, pmax: opts.PMax, k: k, d: d,
+		inOrder: opts.InOrder, record: opts.RecordDecisions,
+		in:        make(chan *pending, queue),
+		done:      make(chan struct{}),
+		nextSeq:   opts.FirstSeq,
+		watermark: math.MinInt64,
+		srcBuf:    make([]int, d+1),
+	}
+	if opts.InOrder {
+		e.parked = make(map[int]*pending)
+	}
+	e.pool.New = func() any {
+		return &pending{
+			src:   make([]int, 0, d),
+			dst:   make([]int, 0, d),
+			reply: make(chan Decision, 1),
+		}
+	}
+	e.arena.init(opts.ExpectPackets)
+	if opts.ExpectPackets > 0 {
+		e.admitted = make([]detroute.Admitted, 0, opts.ExpectPackets)
+	}
+	go e.loop()
+	return e, nil
+}
+
+// Grid returns the engine's grid.
+func (e *Engine) Grid() *grid.Grid { return e.g }
+
+// Params returns the engine's resolved (horizon, pmax, k).
+func (e *Engine) Params() (horizon int64, pmax, k int) { return e.horizon, e.pmax, e.k }
+
+// Admit submits one packet and blocks until the engine decides it, the
+// bounded queue rejects it, or ctx is done. It is safe to call from any
+// number of goroutines. After Drain has begun it returns ErrClosed.
+//
+// On ctx cancellation the packet may still be decided (and, if accepted,
+// routed) later: cancellation abandons the wait, not the submission.
+func (e *Engine) Admit(ctx context.Context, pkt Packet) (Decision, error) {
+	p := e.pool.Get().(*pending)
+	p.pkt = pkt
+	p.src = append(p.src[:0], pkt.Src...)
+	p.dst = append(p.dst[:0], pkt.Dst...)
+	p.pkt.Src = p.src
+	p.pkt.Dst = p.dst
+	p.enq = time.Now()
+
+	// The closed flag and the channel send sit under a read lock so Drain's
+	// close(e.in) (under the write lock) cannot race a send.
+	e.mu.RLock()
+	if e.shut {
+		e.mu.RUnlock()
+		e.pool.Put(p)
+		return Decision{}, ErrClosed
+	}
+	select {
+	case e.in <- p:
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		e.pool.Put(p)
+		e.submitted.Add(1)
+		e.rejQFull.Add(1)
+		return Decision{Seq: pkt.Seq, Verdict: RejectedQueueFull}, nil
+	}
+	e.submitted.Add(1)
+
+	select {
+	case d := <-p.reply:
+		e.pool.Put(p)
+		return d, nil
+	case <-ctx.Done():
+		// The loop still owns p and will deliver into the buffered reply;
+		// the envelope is simply dropped from the pool.
+		return Decision{}, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Submitted:         e.submitted.Load(),
+		Accepted:          e.accepted.Load(),
+		RejectedCost:      e.rejCost.Load(),
+		RejectedNoRoute:   e.rejNoRoute.Load(),
+		RejectedInvalid:   e.rejInvalid.Load(),
+		RejectedQueueFull: e.rejQFull.Load(),
+		QueueLen:          len(e.in),
+	}
+	if n := e.decided.Load(); n > 0 {
+		s.AvgWait = time.Duration(e.waitNs.Load() / int64(n))
+	}
+	return s
+}
+
+// loop is the single consumer: it owns every piece of mutable routing state
+// and decides packets strictly one at a time.
+func (e *Engine) loop() {
+	defer close(e.done)
+	for p := range e.in {
+		if e.inOrder {
+			e.processOrdered(p)
+		} else {
+			e.process(p)
+		}
+	}
+	e.flushParked()
+}
+
+func (e *Engine) processOrdered(p *pending) {
+	if p.pkt.Seq != e.nextSeq {
+		e.parked[p.pkt.Seq] = p
+		return
+	}
+	e.process(p)
+	e.nextSeq++
+	for {
+		q, ok := e.parked[e.nextSeq]
+		if !ok {
+			return
+		}
+		delete(e.parked, e.nextSeq)
+		e.process(q)
+		e.nextSeq++
+	}
+}
+
+// flushParked decides leftover parked packets at drain time in Seq order
+// (their gap seqs were never submitted).
+func (e *Engine) flushParked() {
+	if len(e.parked) == 0 {
+		return
+	}
+	seqs := make([]int, 0, len(e.parked))
+	for s := range e.parked {
+		seqs = append(seqs, s)
+	}
+	sort.Ints(seqs)
+	for _, s := range seqs {
+		p := e.parked[s]
+		delete(e.parked, s)
+		e.process(p)
+	}
+}
+
+func (e *Engine) process(p *pending) {
+	d := e.decide(&p.pkt)
+	d.Wait = time.Since(p.enq)
+	e.count(d)
+	if e.record {
+		e.decisions = append(e.decisions, d)
+	}
+	p.reply <- d
+}
+
+// decide is the warm admit path: one sketch lightest-route query plus one
+// packer offer, mirroring the batch loop body of the deterministic
+// algorithm. It is allocation-free in steady state.
+func (e *Engine) decide(pkt *Packet) Decision {
+	d := Decision{Seq: pkt.Seq}
+	r := grid.Request{ID: pkt.Seq, Src: pkt.Src, Dst: pkt.Dst, Arrival: pkt.Arrival, Deadline: pkt.Deadline}
+	// Validity gate: infeasible or out-of-order packets never touch the
+	// packer, so a pre-validated batch stream sees the exact Offer sequence
+	// of the batch algorithm.
+	if pkt.Arrival < e.watermark || !r.Feasible(e.g) {
+		d.Verdict = RejectedInvalid
+		return d
+	}
+	e.watermark = pkt.Arrival
+
+	src := e.st.ToLattice(r.Src, r.Arrival, e.srcBuf)
+	wLo, wHi := e.st.DestRay(&r)
+	if e.g.B == 0 {
+		// Bufferless: the only reachable copy shares the source's w.
+		wLo, wHi = src[e.d], src[e.d]
+	}
+	if !e.sess.LightestRouteInto(e.pk, src, r.Dst, wLo, wHi, e.pmax, &e.scratch) {
+		e.pk.Offer(nil, 0)
+		d.Verdict = RejectedNoRoute
+		return d
+	}
+	d.Cost = e.scratch.Cost
+	d.Tiles = e.scratch.NumTiles()
+	if !e.pk.Offer(e.scratch.Edges, e.scratch.Cost) {
+		d.Verdict = RejectedCost
+		return d
+	}
+	d.Verdict = Accepted
+	e.admitted = append(e.admitted, e.arena.retain(&r, &e.scratch))
+	return d
+}
+
+func (e *Engine) count(d Decision) {
+	switch d.Verdict {
+	case Accepted:
+		e.accepted.Add(1)
+	case RejectedCost:
+		e.rejCost.Add(1)
+	case RejectedNoRoute:
+		e.rejNoRoute.Add(1)
+	default:
+		e.rejInvalid.Add(1)
+	}
+	e.waitNs.Add(int64(d.Wait))
+	e.decided.Add(1)
+}

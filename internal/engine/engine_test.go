@@ -1,0 +1,322 @@
+package engine_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gridroute/internal/core"
+	"gridroute/internal/engine"
+	"gridroute/internal/grid"
+	"gridroute/internal/ipp"
+	"gridroute/internal/scenario"
+	"gridroute/internal/sketch"
+	"gridroute/internal/spacetime"
+	"gridroute/internal/tiling"
+)
+
+// workload builds a line instance with a uniform request stream and the
+// batch-derived engine parameters.
+func workload(t *testing.T, n, reqCount int, T int64, seed int64) (*grid.Grid, []grid.Request, engine.Options) {
+	t.Helper()
+	g := grid.Line(n, 3, 3)
+	rng := rand.New(rand.NewSource(seed))
+	reqs := scenario.Uniform(g, reqCount, T, rng)
+	horizon := spacetime.SuggestHorizon(g, reqs, 3)
+	pmax := core.PMaxDet(g)
+	return g, reqs, engine.Options{Horizon: horizon, PMax: pmax, Queue: len(reqs) + 1}
+}
+
+// stream pushes the requests through the engine sequentially and returns the
+// per-request admit pattern and the finished result.
+func stream(t *testing.T, g *grid.Grid, reqs []grid.Request, opts engine.Options) ([]bool, *engine.Result) {
+	t.Helper()
+	eng, err := engine.New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	admitted := make([]bool, len(reqs))
+	for i := range reqs {
+		dec, err := eng.Admit(ctx, engine.PacketOf(&reqs[i]))
+		if err != nil {
+			t.Fatalf("Admit %d: %v", i, err)
+		}
+		if dec.Seq != reqs[i].ID {
+			t.Fatalf("decision seq %d for packet %d", dec.Seq, reqs[i].ID)
+		}
+		admitted[i] = dec.Admitted()
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return admitted, res
+}
+
+// TestEngineMatchesInlineBatch replays the pre-engine batch admission loop
+// with raw sketch/ipp primitives and checks the streaming engine makes
+// bit-identical decisions and certificates on the same workload.
+func TestEngineMatchesInlineBatch(t *testing.T) {
+	g, reqs, opts := workload(t, 48, 160, 96, 1)
+
+	// Inline batch loop, as core.RunDeterministic wrote it before the engine.
+	st := spacetime.New(g, opts.Horizon)
+	d := g.D()
+	k := ipp.K(opts.PMax)
+	side := make([]int, d+1)
+	phase := make([]int, d+1)
+	for i := range side {
+		side[i] = k
+	}
+	tl := tiling.New(st.Box, side, phase)
+	sk := sketch.New(st, tl, sketch.Downscaled)
+	pk := ipp.NewDense(2*opts.PMax+1, sk.Cap, sk.Universe())
+	wantAdmit := make([]bool, len(reqs))
+	for i := range reqs {
+		r := &reqs[i]
+		src := st.SourcePoint(r)
+		wLo, wHi := st.DestRay(r)
+		route := sk.LightestRoute(pk, src, r.Dst, wLo, wHi, opts.PMax)
+		if route == nil {
+			pk.Offer(nil, 0)
+			continue
+		}
+		wantAdmit[i] = pk.Offer(route.Edges, route.Cost)
+	}
+
+	gotAdmit, res := stream(t, g, reqs, opts)
+	if !reflect.DeepEqual(wantAdmit, gotAdmit) {
+		t.Fatal("engine admit pattern diverges from the inline batch loop")
+	}
+	if res.MaxLoad != pk.MaxLoad() || res.PrimalValue != pk.PrimalValue() {
+		t.Fatalf("packer certificates diverge: engine (%v, %v) vs batch (%v, %v)",
+			res.MaxLoad, res.PrimalValue, pk.MaxLoad(), pk.PrimalValue())
+	}
+	if int(res.Stats.Accepted) != len(res.Admitted) || res.Stats.Submitted != uint64(len(reqs)) {
+		t.Fatalf("stats inconsistent: %+v vs %d admitted / %d reqs", res.Stats, len(res.Admitted), len(reqs))
+	}
+}
+
+// stripWait zeroes the only non-deterministic Decision field.
+func stripWait(ds []engine.Decision) []engine.Decision {
+	out := make([]engine.Decision, len(ds))
+	for i, d := range ds {
+		d.Wait = 0
+		out[i] = d
+	}
+	return out
+}
+
+// TestEngineDecisionDeterminismConcurrent is the -race gate of the streaming
+// engine: N producer goroutines submit an interleaved partition of a seeded
+// arrival order into an InOrder engine, and the decision log must be
+// identical to the single-producer run — packet by packet, verdict by
+// verdict, cost by cost.
+func TestEngineDecisionDeterminismConcurrent(t *testing.T) {
+	g, reqs, opts := workload(t, 48, 200, 96, 7)
+	opts.InOrder = true
+	opts.RecordDecisions = true
+
+	_, seqRes := stream(t, g, reqs, opts)
+	want := stripWait(seqRes.Decisions)
+	if len(want) != len(reqs) {
+		t.Fatalf("baseline recorded %d decisions for %d packets", len(want), len(reqs))
+	}
+
+	const producers = 8
+	for round := 0; round < 3; round++ {
+		eng, err := engine.New(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				// Strided partition: each producer owns seqs p, p+P, p+2P, …
+				// and submits them in increasing order, so the minimal
+				// undecided seq is always either queued or owned by an
+				// unblocked producer — no deadlock against InOrder parking.
+				for i := p; i < len(reqs); i += producers {
+					if _, err := eng.Admit(ctx, engine.PacketOf(&reqs[i])); err != nil {
+						t.Errorf("producer %d admit %d: %v", p, i, err)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		if err := eng.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, stripWait(res.Decisions)) {
+			t.Fatalf("round %d: concurrent decision log diverges from sequential baseline", round)
+		}
+		if res.Throughput != seqRes.Throughput || res.MaxLoad != seqRes.MaxLoad {
+			t.Fatalf("round %d: result diverges (throughput %d vs %d)", round, res.Throughput, seqRes.Throughput)
+		}
+	}
+}
+
+// TestEngineBackpressure checks that a full bounded queue rejects instead of
+// blocking: with a single-slot queue and many producers racing a consumer
+// that does real DP work per packet, some submissions must bounce, and every
+// submission is accounted for exactly once.
+func TestEngineBackpressure(t *testing.T) {
+	g, reqs, opts := workload(t, 64, 1024, 256, 3)
+	opts.Queue = 1
+
+	eng, err := engine.New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const producers = 8
+	bounced := make([]uint64, producers)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(reqs); i += producers {
+				dec, err := eng.Admit(ctx, engine.PacketOf(&reqs[i]))
+				if err != nil {
+					t.Errorf("admit: %v", err)
+					return
+				}
+				if dec.Verdict == engine.RejectedQueueFull {
+					bounced[p]++
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, b := range bounced {
+		total += b
+	}
+	s := res.Stats
+	if s.RejectedQueueFull != total {
+		t.Fatalf("engine counted %d queue-full, producers saw %d", s.RejectedQueueFull, total)
+	}
+	if total == 0 {
+		t.Skip("queue never filled (consumer outpaced 8 producers); backpressure accounting not exercised")
+	}
+	if s.Submitted != uint64(len(reqs)) {
+		t.Fatalf("submitted %d != %d", s.Submitted, len(reqs))
+	}
+	if s.Decided()+s.RejectedQueueFull != s.Submitted {
+		t.Fatalf("accounting leak: decided %d + bounced %d != submitted %d", s.Decided(), s.RejectedQueueFull, s.Submitted)
+	}
+}
+
+// TestEngineLifecycle pins the Drain/Finish contract.
+func TestEngineLifecycle(t *testing.T) {
+	g, reqs, opts := workload(t, 32, 16, 32, 5)
+	eng, err := engine.New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Finish(); err != engine.ErrNotDrained {
+		t.Fatalf("Finish before Drain: %v", err)
+	}
+	ctx := context.Background()
+	for i := range reqs {
+		if _, err := eng.Admit(ctx, engine.PacketOf(&reqs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal("Drain must be idempotent:", err)
+	}
+	if _, err := eng.Admit(ctx, engine.PacketOf(&reqs[0])); err != engine.ErrClosed {
+		t.Fatalf("Admit after Drain: %v", err)
+	}
+	r1, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.Finish()
+	if err != nil || r1 != r2 {
+		t.Fatal("Finish must be idempotent and cached")
+	}
+	if len(r1.Schedules) != len(r1.Admitted) || len(r1.Outcomes) != len(r1.Admitted) {
+		t.Fatal("result slices not parallel to Admitted")
+	}
+}
+
+// TestEngineInvalidPackets checks that infeasible and out-of-order packets
+// are rejected without perturbing the packer state: a valid stream with
+// garbage interleaved decides the valid packets exactly as a clean stream.
+func TestEngineInvalidPackets(t *testing.T) {
+	g, reqs, opts := workload(t, 32, 64, 48, 9)
+	wantAdmit, wantRes := stream(t, g, reqs, opts)
+
+	eng, err := engine.New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	gotAdmit := make([]bool, len(reqs))
+	for i := range reqs {
+		if i%8 == 3 {
+			// Out of bounds destination.
+			bad := engine.Packet{Seq: 10_000 + i, Src: grid.Vec{0}, Dst: grid.Vec{999}, Arrival: reqs[i].Arrival, Deadline: grid.InfDeadline}
+			if dec, err := eng.Admit(ctx, bad); err != nil || dec.Verdict != engine.RejectedInvalid {
+				t.Fatalf("infeasible packet: %v %v", dec.Verdict, err)
+			}
+		}
+		if i%8 == 5 && reqs[i].Arrival > 0 {
+			// Arrival-order watermark violation.
+			bad := engine.PacketOf(&reqs[i])
+			bad.Seq = 20_000 + i
+			bad.Arrival = -1
+			if dec, err := eng.Admit(ctx, bad); err != nil || dec.Verdict != engine.RejectedInvalid {
+				t.Fatalf("stale packet: %v %v", dec.Verdict, err)
+			}
+		}
+		dec, err := eng.Admit(ctx, engine.PacketOf(&reqs[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAdmit[i] = dec.Admitted()
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantAdmit, gotAdmit) {
+		t.Fatal("invalid packets perturbed admission decisions")
+	}
+	if res.MaxLoad != wantRes.MaxLoad || res.PrimalValue != wantRes.PrimalValue || res.Throughput != wantRes.Throughput {
+		t.Fatal("invalid packets perturbed packer or routing state")
+	}
+	if res.Stats.RejectedInvalid == 0 {
+		t.Fatal("no invalid rejections counted")
+	}
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"gridroute/internal/detroute"
+	"gridroute/internal/grid"
+	"gridroute/internal/ipp"
+	"gridroute/internal/sketch"
+	"gridroute/internal/spacetime"
+)
+
+// arena is chunked, pointer-stable storage for accepted packets. Requests
+// and routes live in fixed-capacity chunks that are never reallocated, so
+// the *grid.Request and *sketch.Route handed to detailed routing stay valid
+// as more packets are accepted; coordinate, axis and edge payloads are
+// sub-sliced (with full-slice expressions, so appends cannot bleed across
+// entries) from shared backing chunks. Steady-state cost is one allocation
+// per chunk, amortized to ~0 per accept; Options.ExpectPackets sizes the
+// first request/route chunks to cover a known workload outright.
+type arena struct {
+	reqs   []grid.Request
+	routes []sketch.Route
+	ints   []int
+	axes   []uint8
+	edges  []ipp.EdgeID
+
+	reqChunk, intChunk, axChunk, edgeChunk int
+}
+
+func (a *arena) init(hint int) {
+	a.reqChunk = 1 << 10
+	a.intChunk = 1 << 14
+	a.axChunk = 1 << 13
+	a.edgeChunk = 1 << 14
+	if hint > a.reqChunk {
+		a.reqChunk = hint
+	}
+	if hint > 0 {
+		a.reqs = make([]grid.Request, 0, a.reqChunk)
+		a.routes = make([]sketch.Route, 0, a.reqChunk)
+	}
+}
+
+func (a *arena) allocInts(n int) []int {
+	if len(a.ints)+n > cap(a.ints) {
+		c := a.intChunk
+		if c < n {
+			c = n
+		}
+		a.ints = make([]int, 0, c)
+	}
+	off := len(a.ints)
+	a.ints = a.ints[:off+n]
+	return a.ints[off : off+n : off+n]
+}
+
+func (a *arena) allocAxes(n int) []uint8 {
+	if len(a.axes)+n > cap(a.axes) {
+		c := a.axChunk
+		if c < n {
+			c = n
+		}
+		a.axes = make([]uint8, 0, c)
+	}
+	off := len(a.axes)
+	a.axes = a.axes[:off+n]
+	return a.axes[off : off+n : off+n]
+}
+
+func (a *arena) allocEdges(n int) []ipp.EdgeID {
+	if len(a.edges)+n > cap(a.edges) {
+		c := a.edgeChunk
+		if c < n {
+			c = n
+		}
+		a.edges = make([]ipp.EdgeID, 0, c)
+	}
+	off := len(a.edges)
+	a.edges = a.edges[:off+n]
+	return a.edges[off : off+n : off+n]
+}
+
+// retain deep-copies an accepted (request, route) pair into the arena and
+// returns the detroute admission entry pointing at the stable copies.
+func (a *arena) retain(r *grid.Request, rt *sketch.Route) detroute.Admitted {
+	if len(a.reqs) == cap(a.reqs) {
+		a.reqs = make([]grid.Request, 0, a.reqChunk)
+	}
+	a.reqs = a.reqs[:len(a.reqs)+1]
+	req := &a.reqs[len(a.reqs)-1]
+	*req = *r
+	req.Src = a.allocInts(len(r.Src))
+	copy(req.Src, r.Src)
+	req.Dst = a.allocInts(len(r.Dst))
+	copy(req.Dst, r.Dst)
+
+	if len(a.routes) == cap(a.routes) {
+		a.routes = make([]sketch.Route, 0, a.reqChunk)
+	}
+	a.routes = a.routes[:len(a.routes)+1]
+	ro := &a.routes[len(a.routes)-1]
+	ro.Tiles = a.allocInts(len(rt.Tiles))
+	copy(ro.Tiles, rt.Tiles)
+	ro.Axes = a.allocAxes(len(rt.Axes))
+	copy(ro.Axes, rt.Axes)
+	ro.Edges = a.allocEdges(len(rt.Edges))
+	copy(ro.Edges, rt.Edges)
+	ro.Cost = rt.Cost
+
+	return detroute.Admitted{Req: req, Route: ro}
+}
+
+// Drain closes the engine to new admissions, waits for the queue (and, in
+// InOrder mode, any parked packets) to be fully decided, and returns when
+// the consumer loop has exited. Subsequent Admit calls return ErrClosed;
+// Drain itself is idempotent. On ctx cancellation the loop keeps draining in
+// the background — only the wait is abandoned.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.shut {
+		e.shut = true
+		close(e.in)
+	}
+	e.mu.Unlock()
+	select {
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Result is the routed outcome of a drained engine: the admitted set in
+// admission order, the detailed-routing outcome and (for on-time
+// deliveries) the explicit schedule of each, plus the packer's Theorem 1
+// certificates.
+type Result struct {
+	Grid    *grid.Grid
+	Horizon int64
+	PMax    int
+	K       int
+
+	// Admitted is the injected set in admission order; Outcomes and
+	// Schedules are parallel to it. Schedules[j] is non-nil exactly for
+	// on-time deliveries. The Req pointers are engine-owned copies whose ID
+	// carries the packet Seq.
+	Admitted  []detroute.Admitted
+	Outcomes  []detroute.Outcome
+	Schedules []*spacetime.Schedule
+
+	RouteStats detroute.Stats
+	// Throughput counts on-time deliveries (|alg| in Sec. 5.3 notation);
+	// ReachedLastTile is |ipp′| (Prop. 8).
+	Throughput      int
+	ReachedLastTile int
+
+	MaxLoad     float64
+	LoadBound   float64
+	PrimalValue float64
+
+	// Decisions is the consumer-loop decision log in decision order, when
+	// Options.RecordDecisions was set.
+	Decisions []Decision
+
+	// Stats is the final counter snapshot.
+	Stats Stats
+}
+
+// ErrNotDrained is returned by Finish before Drain has completed.
+var ErrNotDrained = errors.New("engine: Finish requires a completed Drain")
+
+// Finish runs detailed routing (detroute tracks 1–3) over the admitted set
+// and returns the full result. It may only be called after Drain has
+// returned nil; it is idempotent and returns the same Result on every call.
+func (e *Engine) Finish() (*Result, error) {
+	select {
+	case <-e.done:
+	default:
+		return nil, ErrNotDrained
+	}
+	e.finishOnce.Do(e.finish)
+	return e.result, nil
+}
+
+func (e *Engine) finish() {
+	res := &Result{
+		Grid: e.g, Horizon: e.horizon, PMax: e.pmax, K: e.k,
+		Admitted:    e.admitted,
+		MaxLoad:     e.pk.MaxLoad(),
+		LoadBound:   e.pk.LoadBound(),
+		PrimalValue: e.pk.PrimalValue(),
+		Decisions:   e.decisions,
+		Stats:       e.Stats(),
+	}
+	router := detroute.New(e.st, e.sk)
+	res.Outcomes, res.RouteStats = router.Run(e.admitted)
+	res.Schedules = make([]*spacetime.Schedule, len(e.admitted))
+	for j := range res.Outcomes {
+		o := &res.Outcomes[j]
+		if o.ReachedLastTile {
+			res.ReachedLastTile++
+		}
+		if o.Delivered && o.OnTime {
+			res.Schedules[j] = e.st.PathToSchedule(e.admitted[j].Req, o.Path)
+			res.Throughput++
+		}
+	}
+	e.result = res
+}

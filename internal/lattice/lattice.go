@@ -400,10 +400,22 @@ func (dp *DP) CostAt(p []int) float64 {
 // start coords, axes): the predecessor chain is walked once to count steps
 // and once to fill the axes in forward order.
 func (dp *DP) PathTo(p []int) *Path {
-	if dp.CostAt(p) == Inf {
+	var out Path
+	if !dp.PathInto(p, &out) {
 		return nil
 	}
-	cur := append([]int(nil), p...)
+	return &out
+}
+
+// PathInto is PathTo writing into a caller-provided Path, reusing its Start
+// and Axes slices. It reports false (leaving out untouched) when p is
+// unreachable. A warm out (slices grown once) makes reconstruction
+// allocation-free — the streaming admit path depends on this.
+func (dp *DP) PathInto(p []int, out *Path) bool {
+	if dp.CostAt(p) == Inf {
+		return false
+	}
+	cur := append(out.Start[:0], p...)
 	n := 0
 	for {
 		a := dp.pred[dp.winIndex(cur)]
@@ -413,7 +425,10 @@ func (dp *DP) PathTo(p []int) *Path {
 		n++
 		cur[a]--
 	}
-	axes := make([]uint8, n)
+	if cap(out.Axes) < n {
+		out.Axes = make([]uint8, n)
+	}
+	axes := out.Axes[:n]
 	copy(cur, p)
 	for i := n - 1; i >= 0; i-- {
 		a := dp.pred[dp.winIndex(cur)]
@@ -421,7 +436,8 @@ func (dp *DP) PathTo(p []int) *Path {
 		cur[a]--
 	}
 	// cur is now the source.
-	return &Path{Start: cur, Axes: axes}
+	out.Start, out.Axes = cur, axes
+	return true
 }
 
 // FloorDiv returns floor(a/b) for b > 0 (Go's integer division truncates

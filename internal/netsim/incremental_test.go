@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"testing"
+
+	"gridroute/internal/grid"
+	"gridroute/internal/spacetime"
+)
+
+// incWindow computes the batch replay window for a schedule set.
+func incWindow(schedules []*spacetime.Schedule) (int64, int64) {
+	minT, maxT := int64(0), int64(-1)
+	first := true
+	for _, s := range schedules {
+		if s == nil {
+			continue
+		}
+		end := s.StartT + int64(len(s.Moves))
+		if first {
+			minT, maxT = s.StartT, end
+			first = false
+			continue
+		}
+		if s.StartT < minT {
+			minT = s.StartT
+		}
+		if end > maxT {
+			maxT = end
+		}
+	}
+	if maxT < minT {
+		maxT = minT
+	}
+	return minT, maxT
+}
+
+// TestIncrementalMatchesBatch feeds the same schedule set — deliveries,
+// holds, a nil, a late delivery, a link overflow and a buffer overflow —
+// through the one-at-a-time verifier and the batch Replayer and checks the
+// outcomes, peak occupancies and violation verdicts agree under both models.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	g := grid.Line(8, 1, 1)
+	reqs := []grid.Request{
+		{ID: 0, Src: grid.Vec{0}, Dst: grid.Vec{3}, Arrival: 0, Deadline: grid.InfDeadline},
+		{ID: 1, Src: grid.Vec{0}, Dst: grid.Vec{3}, Arrival: 0, Deadline: grid.InfDeadline},
+		{ID: 2, Src: grid.Vec{4}, Dst: grid.Vec{6}, Arrival: 1, Deadline: grid.InfDeadline},
+		{ID: 3, Src: grid.Vec{4}, Dst: grid.Vec{5}, Arrival: 1, Deadline: grid.InfDeadline},
+		{ID: 4, Src: grid.Vec{2}, Dst: grid.Vec{7}, Arrival: 0, Deadline: grid.InfDeadline},
+		{ID: 5, Src: grid.Vec{6}, Dst: grid.Vec{7}, Arrival: 2, Deadline: grid.InfDeadline},
+		{ID: 6, Src: grid.Vec{0}, Dst: grid.Vec{1}, Arrival: 3, Deadline: 3},
+	}
+	schedules := []*spacetime.Schedule{
+		// 0 and 1 share every link in every step: c=1 overflows.
+		mkSchedule(&reqs[0], 0, 0, 0),
+		mkSchedule(&reqs[1], 0, 0, 0),
+		// 2 and 3 both hold at node 4 during step 1: B=1 overflows (Model 1);
+		// under Model 2 their shared presence overflows too.
+		mkSchedule(&reqs[2], spacetime.Hold, 0, 0),
+		mkSchedule(&reqs[3], spacetime.Hold, spacetime.Hold, 0),
+		nil, // rejected packet
+		mkSchedule(&reqs[5], 0),
+		// Holds before moving: delivered at t=5 > deadline 3 → late.
+		mkSchedule(&reqs[6], spacetime.Hold, spacetime.Hold, 0),
+	}
+
+	for _, model := range []Model{Model1, Model2} {
+		batch := ReplaySchedules(g, reqs, schedules, model)
+
+		minT, maxT := incWindow(schedules)
+		inc := NewIncremental(g, model, minT, maxT)
+		for round := 0; round < 2; round++ {
+			for i := range reqs {
+				got := inc.Add(&reqs[i], schedules[i])
+				want := batch.Outcomes[i]
+				if got.Kind != want.Kind || got.DeliveredAt != want.DeliveredAt || got.OnTime != want.OnTime {
+					t.Fatalf("model %v round %d req %d: incremental %+v vs batch %+v", model, round, i, got, want)
+				}
+			}
+			if inc.MaxBuffer() != batch.MaxBuffer || inc.MaxLink() != batch.MaxLink {
+				t.Fatalf("model %v round %d: peaks (%d,%d) vs batch (%d,%d)",
+					model, round, inc.MaxBuffer(), inc.MaxLink(), batch.MaxBuffer, batch.MaxLink)
+			}
+			// Violation strings differ by design (first-exceed vs final
+			// count); the verdict must not.
+			if (len(inc.Violations()) == 0) != (len(batch.Violation) == 0) {
+				t.Fatalf("model %v round %d: incremental violations %v vs batch %v",
+					model, round, inc.Violations(), batch.Violation)
+			}
+			// Warm reuse: a Reset verifier must reproduce itself exactly.
+			inc.Reset(minT, maxT)
+			if inc.Added() != 0 || len(inc.Violations()) != 0 || inc.MaxBuffer() != 0 || inc.MaxLink() != 0 {
+				t.Fatal("Reset left residual state")
+			}
+		}
+	}
+}
+
+// TestIncrementalCleanRunNoViolations checks a conflict-free schedule set
+// replays without violations and counts Added correctly.
+func TestIncrementalCleanRunNoViolations(t *testing.T) {
+	g := grid.Line(8, 2, 2)
+	reqs := []grid.Request{
+		{ID: 0, Src: grid.Vec{0}, Dst: grid.Vec{2}, Arrival: 0, Deadline: grid.InfDeadline},
+		{ID: 1, Src: grid.Vec{3}, Dst: grid.Vec{5}, Arrival: 0, Deadline: grid.InfDeadline},
+	}
+	schedules := []*spacetime.Schedule{
+		mkSchedule(&reqs[0], 0, spacetime.Hold, 0),
+		mkSchedule(&reqs[1], 0, 0),
+	}
+	minT, maxT := incWindow(schedules)
+	inc := NewIncremental(g, Model1, minT, maxT)
+	for i := range reqs {
+		if o := inc.Add(&reqs[i], schedules[i]); o.Kind != Delivered || !o.OnTime {
+			t.Fatalf("req %d outcome %+v", i, o)
+		}
+	}
+	if inc.Added() != 2 || len(inc.Violations()) != 0 {
+		t.Fatalf("added %d violations %v", inc.Added(), inc.Violations())
+	}
+}
+
+// TestIncrementalWindowGuard checks schedules outside the declared window
+// are flagged instead of corrupting the occupancy arrays.
+func TestIncrementalWindowGuard(t *testing.T) {
+	g := grid.Line(8, 2, 2)
+	r := grid.Request{ID: 0, Src: grid.Vec{0}, Dst: grid.Vec{2}, Arrival: 9, Deadline: grid.InfDeadline}
+	s := mkSchedule(&r, 0, 0)
+	inc := NewIncremental(g, Model1, 0, 5)
+	if o := inc.Add(&r, s); o.Kind == Delivered {
+		t.Fatal("out-of-window schedule must not deliver")
+	}
+	if len(inc.Violations()) == 0 {
+		t.Fatal("out-of-window schedule must be flagged")
+	}
+}

@@ -296,6 +296,139 @@ func (rp *Replayer) presenceWalk(g *grid.Grid, req *grid.Request, s *spacetime.S
 	}
 }
 
+// Incremental verifies schedules one at a time against a persistent
+// occupancy state — the replay mode of the streaming engine, which learns of
+// accepted packets one admit at a time and cannot batch them first. The
+// occupancy universe spans a fixed time window chosen up front (the engine
+// knows its horizon), so adding a schedule is a single walk bumping the same
+// dense link/buffer counters batch replay uses.
+//
+// Capacity violations are detected at the moment a counter first exceeds its
+// capacity, so the violation strings name the offending count at that
+// instant rather than the final count batch replay reports; a correct
+// algorithm produces none either way, and tests assert the outcomes and the
+// violation *set* agree with ReplaySchedules.
+type Incremental struct {
+	g     *grid.Grid
+	model Model
+	minT  int64
+	width int
+
+	links dense.Counts
+	bufs  dense.Counts
+	pos   grid.Vec
+
+	added      int
+	maxBuffer  int
+	maxLink    int
+	violations []string
+}
+
+// NewIncremental creates an incremental verifier over the time window
+// [minT, maxT] (inclusive). Schedules touching steps outside the window are
+// rejected as violations.
+func NewIncremental(g *grid.Grid, model Model, minT, maxT int64) *Incremental {
+	inc := &Incremental{g: g, model: model}
+	inc.Reset(minT, maxT)
+	return inc
+}
+
+// Reset rewinds the verifier to an empty occupancy state over a new window,
+// reusing its buffers (a warm Incremental resets without allocating).
+func (inc *Incremental) Reset(minT, maxT int64) {
+	if maxT < minT {
+		maxT = minT
+	}
+	inc.minT = minT
+	inc.width = int(maxT-minT) + 1
+	inc.links.Reset(inc.g.N() * inc.g.D() * inc.width)
+	inc.bufs.Reset(inc.g.N() * inc.width)
+	inc.added = 0
+	inc.maxBuffer, inc.maxLink = 0, 0
+	inc.violations = inc.violations[:0]
+}
+
+// Add replays one accepted schedule on top of everything added so far and
+// returns the packet's outcome. Capacity and buffer constraints are checked
+// as the occupancy counters move; violations accumulate on the verifier
+// (Violations) tagged with the request ID.
+func (inc *Incremental) Add(req *grid.Request, s *spacetime.Schedule) Outcome {
+	g := inc.g
+	d := g.D()
+	if s == nil {
+		return Outcome{}
+	}
+	if s.Req == nil || !s.Req.Src.Eq(req.Src) || s.Req.Arrival != req.Arrival {
+		inc.violations = append(inc.violations, fmt.Sprintf("req %d: schedule/request mismatch", req.ID))
+		return Outcome{}
+	}
+	if end := s.StartT + int64(len(s.Moves)); s.StartT < inc.minT || end >= inc.minT+int64(inc.width) {
+		inc.violations = append(inc.violations,
+			fmt.Sprintf("req %d: schedule [%d,%d] outside replay window [%d,%d]", req.ID, s.StartT, end, inc.minT, inc.minT+int64(inc.width)-1))
+		return Outcome{}
+	}
+	pos := append(inc.pos[:0], s.Src...)
+	inc.pos = pos
+	t := s.StartT
+	for _, m := range s.Moves {
+		node := g.Index(pos)
+		if inc.model == Model2 && !pos.Eq(req.Dst) {
+			inc.bumpBuf(req.ID, node, t)
+		}
+		if m == spacetime.Hold {
+			if inc.model == Model1 {
+				inc.bumpBuf(req.ID, node, t)
+			}
+		} else {
+			li := (node*d+int(m))*inc.width + int(t-inc.minT)
+			n := inc.links.Add(li, 1)
+			if n > inc.maxLink {
+				inc.maxLink = n
+			}
+			if n > g.C {
+				inc.violations = append(inc.violations,
+					fmt.Sprintf("link capacity exceeded: node %d axis %d t=%d: %d > %d", node, m, t, n, g.C))
+			}
+			pos[m]++
+			if pos[m] >= g.Dims[m] {
+				inc.violations = append(inc.violations, fmt.Sprintf("req %d: leaves grid", req.ID))
+				return Outcome{Kind: Dropped}
+			}
+		}
+		t++
+	}
+	inc.added++
+	if pos.Eq(req.Dst) {
+		onTime := req.Deadline == grid.InfDeadline || t <= req.Deadline
+		return Outcome{Kind: Delivered, DeliveredAt: t, OnTime: onTime}
+	}
+	return Outcome{Kind: Dropped}
+}
+
+func (inc *Incremental) bumpBuf(reqID, node int, t int64) {
+	n := inc.bufs.Add(node*inc.width+int(t-inc.minT), 1)
+	if n > inc.maxBuffer {
+		inc.maxBuffer = n
+	}
+	if n > inc.g.B {
+		inc.violations = append(inc.violations,
+			fmt.Sprintf("buffer exceeded: node %d t=%d: %d > %d (adding req %d)", node, t, n, inc.g.B, reqID))
+	}
+}
+
+// Added returns the number of schedules replayed so far.
+func (inc *Incremental) Added() int { return inc.added }
+
+// Violations returns every constraint violation recorded so far. The slice
+// is owned by the verifier; it grows across Add calls and resets on Reset.
+func (inc *Incremental) Violations() []string { return inc.violations }
+
+// MaxBuffer returns the peak buffer occupancy observed so far.
+func (inc *Incremental) MaxBuffer() int { return inc.maxBuffer }
+
+// MaxLink returns the peak per-edge link usage observed so far.
+func (inc *Incremental) MaxLink() int { return inc.maxLink }
+
 // Packet is a live packet in the policy engine.
 type Packet struct {
 	Req *grid.Request

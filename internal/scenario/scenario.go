@@ -59,8 +59,15 @@ type Scenario struct {
 	Tags   []string
 	Params []Param
 	// Generate builds the grid and the request sequence for a resolved
-	// Spec. The returned requests must be arrival-sorted with IDs 0..len-1
-	// (Generate re-validates this and fails loudly otherwise).
+	// Spec.
+	//
+	// Invariant: the returned requests are already in online arrival order —
+	// non-decreasing Arrival, IDs 0..len-1 assigned in that order. The
+	// package-level Generate asserts this once after every generator run, so
+	// downstream consumers (the batch runner, the streaming engine's
+	// arrival-ordered Stream, detailed routing) must NOT re-sort the slice;
+	// re-sorting is at best a wasted pass and at worst, with an unstable
+	// sort, a silent reordering of same-arrival requests.
 	Generate func(Spec) (*grid.Grid, []grid.Request, error)
 }
 
@@ -272,6 +279,14 @@ func Generate(id string, overrides map[string]float64) (*grid.Grid, []grid.Reque
 	}
 	if g == nil {
 		return nil, nil, fmt.Errorf("scenario %s: generator returned no grid", id)
+	}
+	// The arrival-order invariant is asserted here, once, for every
+	// generator: callers are entitled to consume the slice as the online
+	// order without re-sorting.
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			return nil, nil, fmt.Errorf("scenario %s: requests not arrival-sorted at index %d (Generate invariant)", id, i)
+		}
 	}
 	if i := grid.ValidateAll(g, reqs); i >= 0 {
 		return nil, nil, fmt.Errorf("scenario %s: invalid request at index %d: %v", id, i, &reqs[i])

@@ -1,0 +1,63 @@
+package scenario
+
+import "gridroute/internal/grid"
+
+// Stream is an arrival-ordered iterator over a generated scenario instance:
+// the feed shape the streaming admission engine consumes. Every registered
+// scenario can drive an engine through it — NewStream materializes the
+// instance once (generation is deterministic and cheap next to routing) and
+// hands out requests one at a time in the online order.
+//
+// A Stream is not safe for concurrent use; concurrent producers each pull
+// from the stream under their own coordination (cmd/routed partitions by
+// sequence number) or use one feeder goroutine.
+type Stream struct {
+	g    *grid.Grid
+	reqs []grid.Request
+	next int
+}
+
+// NewStream resolves, generates and validates a scenario instance and
+// returns its arrival-ordered request stream.
+func NewStream(id string, overrides map[string]float64) (*Stream, error) {
+	g, reqs, err := Generate(id, overrides)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{g: g, reqs: reqs}, nil
+}
+
+// StreamOf wraps an already generated (grid, requests) instance. The
+// requests must satisfy the Generate invariant (arrival-sorted, IDs
+// 0..len-1); instances obtained from Generate always do.
+func StreamOf(g *grid.Grid, reqs []grid.Request) *Stream {
+	return &Stream{g: g, reqs: reqs}
+}
+
+// Grid returns the instance's grid.
+func (s *Stream) Grid() *grid.Grid { return s.g }
+
+// Len returns the total number of requests in the stream.
+func (s *Stream) Len() int { return len(s.reqs) }
+
+// Remaining returns the number of requests not yet yielded.
+func (s *Stream) Remaining() int { return len(s.reqs) - s.next }
+
+// Next yields the next request in arrival order, or (nil, false) when the
+// stream is exhausted. The pointer aliases the stream's backing slice and
+// stays valid for the stream's lifetime.
+func (s *Stream) Next() (*grid.Request, bool) {
+	if s.next >= len(s.reqs) {
+		return nil, false
+	}
+	r := &s.reqs[s.next]
+	s.next++
+	return r, true
+}
+
+// Reset rewinds the stream to its first request.
+func (s *Stream) Reset() { s.next = 0 }
+
+// Requests exposes the full arrival-ordered slice for batch consumers that
+// need random access (the shared backing array — callers must not mutate).
+func (s *Stream) Requests() []grid.Request { return s.reqs }

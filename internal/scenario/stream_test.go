@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"testing"
+
+	"gridroute/internal/grid"
+)
+
+// TestStreamYieldsArrivalOrder checks the streaming iterator yields exactly
+// the Generate output, in order, with working Remaining/Reset bookkeeping.
+func TestStreamYieldsArrivalOrder(t *testing.T) {
+	s, err := NewStream("uniform", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, reqs, err := Generate("uniform", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Grid() == nil || s.Grid().N() != g.N() {
+		t.Fatal("stream grid diverges from Generate")
+	}
+	if s.Len() != len(reqs) || s.Remaining() != len(reqs) {
+		t.Fatalf("fresh stream Len=%d Remaining=%d want %d", s.Len(), s.Remaining(), len(reqs))
+	}
+	var last int64 = -1 << 62
+	for i := 0; ; i++ {
+		r, ok := s.Next()
+		if !ok {
+			if i != len(reqs) {
+				t.Fatalf("stream ended after %d of %d", i, len(reqs))
+			}
+			break
+		}
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d (arrival-order IDs expected)", i, r.ID)
+		}
+		if r.Arrival < last {
+			t.Fatalf("arrival order violated at %d: %d < %d", i, r.Arrival, last)
+		}
+		last = r.Arrival
+		if r.Arrival != reqs[i].Arrival || !r.Src.Eq(reqs[i].Src) || !r.Dst.Eq(reqs[i].Dst) {
+			t.Fatalf("stream request %d diverges from Generate", i)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted stream yielded a request")
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("exhausted Remaining = %d", s.Remaining())
+	}
+	s.Reset()
+	if s.Remaining() != s.Len() {
+		t.Fatal("Reset did not rewind")
+	}
+	if r, ok := s.Next(); !ok || r.ID != 0 {
+		t.Fatal("Reset stream does not restart at the first request")
+	}
+}
+
+func TestStreamOfWrapsInstance(t *testing.T) {
+	g := grid.Line(8, 3, 3)
+	reqs := []grid.Request{
+		{ID: 0, Src: grid.Vec{0}, Dst: grid.Vec{3}, Arrival: 0, Deadline: grid.InfDeadline},
+		{ID: 1, Src: grid.Vec{1}, Dst: grid.Vec{5}, Arrival: 2, Deadline: grid.InfDeadline},
+	}
+	s := StreamOf(g, reqs)
+	if s.Len() != 2 || s.Grid() != g {
+		t.Fatal("StreamOf lost the instance")
+	}
+	r, ok := s.Next()
+	if !ok || r != &s.Requests()[0] {
+		t.Fatal("Next must alias the backing slice")
+	}
+}
+
+func TestStreamUnknownScenario(t *testing.T) {
+	if _, err := NewStream("no-such-scenario", nil); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}

@@ -40,23 +40,23 @@ const (
 	Raw
 )
 
-// Graph is a sketch graph over the tiles of a space-time lattice.
+// Graph is a sketch graph over the tiles of a space-time lattice. The Graph
+// itself holds only immutable topology (tiling, capacities, edge-id scheme);
+// all per-query mutable state lives in Sessions, so a long-lived Graph can
+// back any number of query sessions (the streaming engine keeps one warm
+// Session per engine, batch callers use the Graph's own default session).
 type Graph struct {
 	ST   *spacetime.Graph
 	Tl   *tiling.Tiling
 	Mode Mode
 
 	// axes is d+1 (number of lattice axes).
-	axes int
-	dp   *lattice.DP
-
-	// scratch buffers
-	srcTile  []int
-	dstTile  []int
-	winLo    []int
-	winHi    []int
-	probe    []int
+	axes     int
 	faceArea []int // Π side[j], j≠axis
+
+	// def is the Graph's default session, backing the LightestRoute
+	// convenience method (not safe for concurrent use, like before).
+	def *Session
 }
 
 // New builds a sketch graph for st under tiling tl.
@@ -64,13 +64,7 @@ func New(st *spacetime.Graph, tl *tiling.Tiling, mode Mode) *Graph {
 	axes := st.G.D() + 1
 	g := &Graph{
 		ST: st, Tl: tl, Mode: mode,
-		axes:    axes,
-		dp:      tl.TBox.NewDP(),
-		srcTile: make([]int, axes),
-		dstTile: make([]int, axes),
-		winLo:   make([]int, axes),
-		winHi:   make([]int, axes),
-		probe:   make([]int, axes),
+		axes: axes,
 	}
 	g.faceArea = make([]int, axes)
 	for a := 0; a < axes; a++ {
@@ -82,7 +76,39 @@ func New(st *spacetime.Graph, tl *tiling.Tiling, mode Mode) *Graph {
 		}
 		g.faceArea[a] = area
 	}
+	g.def = g.NewSession()
 	return g
+}
+
+// Session holds the mutable state of lightest-route queries against one
+// persistent Graph: the lattice DP and the coordinate scratch buffers. A
+// Session is reusable across any number of queries and grows its buffers
+// once; it is not safe for concurrent use, but distinct Sessions of the same
+// Graph are independent.
+type Session struct {
+	g  *Graph
+	dp *lattice.DP
+
+	// scratch buffers
+	srcTile []int
+	dstTile []int
+	winLo   []int
+	winHi   []int
+	probe   []int
+	path    lattice.Path // reused by LightestRouteInto
+}
+
+// NewSession creates a fresh query session over the graph.
+func (g *Graph) NewSession() *Session {
+	return &Session{
+		g:       g,
+		dp:      g.Tl.TBox.NewDP(),
+		srcTile: make([]int, g.axes),
+		dstTile: make([]int, g.axes),
+		winLo:   make([]int, g.axes),
+		winHi:   make([]int, g.axes),
+		probe:   make([]int, g.axes),
+	}
 }
 
 // Universe returns the size of the sketch graph's ipp edge-id space:
@@ -164,6 +190,13 @@ type Route struct {
 // NumTiles returns the number of tiles traversed.
 func (r *Route) NumTiles() int { return len(r.Tiles) }
 
+// LightestRoute finds the lightest sketch path on the Graph's default
+// session. It is a convenience for single-threaded batch callers; see
+// Session.LightestRoute.
+func (g *Graph) LightestRoute(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int) *Route {
+	return g.def.LightestRoute(pk, srcPoint, dst, wLo, wHi, maxTiles)
+}
+
 // LightestRoute finds the lightest sketch path for a request from the tile
 // containing srcPoint to any tile containing a copy of the destination
 // (spatial coordinates dst, w ∈ [wLo, wHi]), visiting at most maxTiles
@@ -171,52 +204,66 @@ func (r *Route) NumTiles() int { return len(r.Tiles) }
 //
 // In Downscaled mode the cost includes the interior edge of every visited
 // tile (the path s¹_in → … → sᴸ_out of Sec. 5.1).
-func (g *Graph) LightestRoute(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int) *Route {
+func (s *Session) LightestRoute(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int) *Route {
+	r := &Route{}
+	if !s.LightestRouteInto(pk, srcPoint, dst, wLo, wHi, maxTiles, r) {
+		return nil
+	}
+	return r
+}
+
+// LightestRouteInto is LightestRoute writing into a caller-provided Route,
+// reusing its slices. It reports false (leaving out unspecified) when no
+// legal route exists. A warm (Session, Route) pair queries without
+// allocating — the property the streaming engine's 0-alloc admit gate rests
+// on.
+func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int, out *Route) bool {
+	g := s.g
 	d := g.ST.G.D()
 	wa := d // the w axis index
-	g.Tl.TileOf(srcPoint, g.srcTile)
+	g.Tl.TileOf(srcPoint, s.srcTile)
 
 	// Destination tile coordinates: fixed per space axis, ranging on w.
 	for i := 0; i < d; i++ {
-		g.dstTile[i] = lattice.FloorDiv(dst[i]-g.Tl.Phase[i], g.Tl.Side[i])
-		if g.dstTile[i] < g.srcTile[i] {
-			return nil // unreachable (cannot happen for feasible requests)
+		s.dstTile[i] = lattice.FloorDiv(dst[i]-g.Tl.Phase[i], g.Tl.Side[i])
+		if s.dstTile[i] < s.srcTile[i] {
+			return false // unreachable (cannot happen for feasible requests)
 		}
 	}
 	dwLo := lattice.FloorDiv(wLo-g.Tl.Phase[wa], g.Tl.Side[wa])
 	dwHi := lattice.FloorDiv(wHi-g.Tl.Phase[wa], g.Tl.Side[wa])
-	if dwLo < g.srcTile[wa] {
-		dwLo = g.srcTile[wa]
+	if dwLo < s.srcTile[wa] {
+		dwLo = s.srcTile[wa]
 	}
 	if dwHi > g.Tl.TBox.Hi[wa]-1 {
 		dwHi = g.Tl.TBox.Hi[wa] - 1
 	}
 	if dwHi < dwLo {
-		return nil
+		return false
 	}
 
 	// Tile-count bound: L tiles means L−1 = L1 distance steps; clip the w
 	// extent so that spatialDist + wSteps ≤ maxTiles−1.
 	spatial := 0
 	for i := 0; i < d; i++ {
-		spatial += g.dstTile[i] - g.srcTile[i]
+		spatial += s.dstTile[i] - s.srcTile[i]
 	}
 	if budget := maxTiles - 1 - spatial; budget < 0 {
-		return nil
-	} else if dwHi > g.srcTile[wa]+budget {
-		dwHi = g.srcTile[wa] + budget
+		return false
+	} else if dwHi > s.srcTile[wa]+budget {
+		dwHi = s.srcTile[wa] + budget
 	}
 	if dwHi < dwLo {
-		return nil
+		return false
 	}
 
 	// DP window: [srcTile .. dstTile] per space axis, [srcW .. dwHi] on w.
 	for i := 0; i < d; i++ {
-		g.winLo[i] = g.srcTile[i]
-		g.winHi[i] = g.dstTile[i] + 1
+		s.winLo[i] = s.srcTile[i]
+		s.winHi[i] = s.dstTile[i] + 1
 	}
-	g.winLo[wa] = g.srcTile[wa]
-	g.winHi[wa] = dwHi + 1
+	s.winLo[wa] = s.srcTile[wa]
+	s.winHi[wa] = dwHi + 1
 
 	if xs := pk.Weights(); xs != nil {
 		// Dense packer: AxisEdgeID(id, a) = id·axes+a matches RunFlat's edge
@@ -226,61 +273,62 @@ func (g *Graph) LightestRoute(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo,
 		if g.Mode == Downscaled {
 			nodeX = xs[g.Tl.TBox.Size()*g.axes:]
 		}
-		g.dp.RunFlat(g.winLo, g.winHi, g.srcTile, xs, nodeX)
+		s.dp.RunFlat(s.winLo, s.winHi, s.srcTile, xs, nodeX)
 	} else {
 		var nodeW lattice.NodeWeight
 		if g.Mode == Downscaled {
 			nodeW = func(id int) float64 { return pk.Weight(g.InteriorEdgeID(id)) }
 		}
 		edgeW := func(id, a int) float64 { return pk.Weight(g.AxisEdgeID(id, a)) }
-		g.dp.Run(g.winLo, g.winHi, g.srcTile, edgeW, nodeW)
+		s.dp.Run(s.winLo, s.winHi, s.srcTile, edgeW, nodeW)
 	}
 
 	// Minimize over the destination ray.
 	best := math.Inf(1)
 	bestW := 0
-	probe := g.probe
-	copy(probe, g.dstTile)
+	probe := s.probe
+	copy(probe, s.dstTile)
 	for w := dwLo; w <= dwHi; w++ {
 		probe[wa] = w
-		if c := g.dp.CostAt(probe); c < best {
+		if c := s.dp.CostAt(probe); c < best {
 			best = c
 			bestW = w
 		}
 	}
 	if math.IsInf(best, 1) {
-		return nil
+		return false
 	}
 	probe[wa] = bestW
-	p := g.dp.PathTo(probe)
-	if p == nil {
-		return nil
+	if !s.dp.PathInto(probe, &s.path) {
+		return false
 	}
-	return g.routeFromPath(p, best)
+	s.routeInto(&s.path, best, out)
+	return true
 }
 
-func (g *Graph) routeFromPath(p *lattice.Path, cost float64) *Route {
-	r := &Route{
-		Tiles: make([]int, 0, len(p.Axes)+1),
-		Axes:  append([]uint8(nil), p.Axes...),
-		Cost:  cost,
-	}
-	cur := append([]int(nil), p.Start...)
+// routeInto materializes a DP path as a sketch Route, reusing out's slices.
+func (s *Session) routeInto(p *lattice.Path, cost float64, out *Route) {
+	g := s.g
+	tiles := out.Tiles[:0]
+	axes := append(out.Axes[:0], p.Axes...)
+	edges := out.Edges[:0]
+	cur := s.probe
+	copy(cur, p.Start)
 	id := g.Tl.TBox.Index(cur)
-	r.Tiles = append(r.Tiles, id)
+	tiles = append(tiles, id)
 	if g.Mode == Downscaled {
-		r.Edges = append(r.Edges, g.InteriorEdgeID(id))
+		edges = append(edges, g.InteriorEdgeID(id))
 	}
 	for _, a := range p.Axes {
-		r.Edges = append(r.Edges, g.AxisEdgeID(id, int(a)))
+		edges = append(edges, g.AxisEdgeID(id, int(a)))
 		cur[a]++
 		id = g.Tl.TBox.Index(cur)
-		r.Tiles = append(r.Tiles, id)
+		tiles = append(tiles, id)
 		if g.Mode == Downscaled {
-			r.Edges = append(r.Edges, g.InteriorEdgeID(id))
+			edges = append(edges, g.InteriorEdgeID(id))
 		}
 	}
-	return r
+	out.Tiles, out.Axes, out.Edges, out.Cost = tiles, axes, edges, cost
 }
 
 // TileCoords returns the tile coordinates of a dense tile id.
