@@ -101,34 +101,46 @@ func TestReplayWarmAllocFree(t *testing.T) {
 	}
 }
 
-// TestEngineAdmitWarmAllocFree: the streaming admit path — envelope pool,
-// bounded queue, consumer loop, warm sketch session query, packer offer,
-// reply — must not allocate once warm. The gate pins the saturated
-// cost-reject steady state: the accept path additionally retains the route
-// into chunked arenas, which is amortized O(1) per accept but not 0.
-func TestEngineAdmitWarmAllocFree(t *testing.T) {
-	skipIfRace(t)
+// saturateEngine builds a Line(64,3,3) engine with the given options and
+// admits one fixed packet until the packer cost-rejects it, returning the
+// engine and that packet: every further admit of pkt takes the steady-state
+// cost-reject path.
+func saturateEngine(t *testing.T, opts engine.Options) (*engine.Engine, engine.Packet) {
+	t.Helper()
 	g := grid.Line(64, 3, 3)
-	eng, err := engine.New(g, engine.Options{Horizon: 256, PMax: core.PMaxDet(g)})
+	opts.Horizon = 256
+	opts.PMax = core.PMaxDet(g)
+	eng, err := engine.New(g, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
 	pkt := engine.Packet{Src: grid.Vec{4}, Dst: grid.Vec{40}, Deadline: grid.InfDeadline}
-	// Saturate the packer on one fixed packet so every further admit takes
-	// the full query path and ends in RejectedCost.
 	for i := 0; ; i++ {
 		dec, err := eng.Admit(ctx, pkt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if dec.Verdict == engine.RejectedCost {
-			break
+			return eng, pkt
 		}
 		if i > 1<<20 {
 			t.Fatal("packer never saturated")
 		}
 	}
+}
+
+// TestEngineAdmitWarmAllocFree: the streaming admit path — envelope pool,
+// bounded queue, consumer loop, warm sketch session query, packer offer,
+// reply — must not allocate once warm. The gate pins the saturated
+// cost-reject steady state with warm-start reuse disabled, so the FULL DP
+// query runs on every admit (the warm-start skip has its own gate below);
+// the accept path additionally retains the route into chunked arenas, which
+// is amortized O(1) per accept but not 0.
+func TestEngineAdmitWarmAllocFree(t *testing.T) {
+	skipIfRace(t)
+	eng, pkt := saturateEngine(t, engine.Options{NoWarmStart: true})
+	ctx := context.Background()
 	allocs := testing.AllocsPerRun(200, func() {
 		dec, err := eng.Admit(ctx, pkt)
 		if err != nil || dec.Verdict != engine.RejectedCost {
@@ -140,6 +152,91 @@ func TestEngineAdmitWarmAllocFree(t *testing.T) {
 	}
 	if err := eng.Drain(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEngineAdmitWarmStartAllocFree: the same gate for the default engine
+// configuration — repeated queries against an unchanged packer take the
+// version-delta-0 warm-start path (no DP at all) and must stay 0-alloc.
+func TestEngineAdmitWarmStartAllocFree(t *testing.T) {
+	skipIfRace(t)
+	eng, pkt := saturateEngine(t, engine.Options{})
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		dec, err := eng.Admit(ctx, pkt)
+		if err != nil || dec.Verdict != engine.RejectedCost {
+			t.Fatalf("steady state broken: %+v, %v", dec, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm-start engine Admit allocates %v/run, want 0", allocs)
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDPRerunFlatWarmAllocFree: incremental re-relaxation — heap, epoch
+// marks and frontier all live in the DP — must not allocate once warm.
+func TestDPRerunFlatWarmAllocFree(t *testing.T) {
+	skipIfRace(t)
+	b := lattice.NewBox([]int{0, 0}, []int{24, 24})
+	edgeX := make([]float64, b.Size()*2)
+	rng := rand.New(rand.NewSource(43))
+	for i := range edgeX {
+		edgeX[i] = rng.Float64()
+	}
+	dp := b.NewDP()
+	src := []int{0, 0}
+	dp.RunFlat(b.Lo, b.Hi, src, edgeX, nil)
+	tile := b.Index([]int{20, 20})
+	head, _ := b.Step(tile, 0)
+	seeds := []int{head}
+	e := tile * 2
+	w0 := edgeX[e]
+	if !dp.RerunFlat(seeds, edgeX, nil, 0) {
+		t.Fatal("warm rerun refused")
+	}
+	flip := false
+	allocs := testing.AllocsPerRun(100, func() {
+		if flip {
+			edgeX[e] = w0 + 0.9
+		} else {
+			edgeX[e] = w0
+		}
+		flip = !flip
+		if !dp.RerunFlat(seeds, edgeX, nil, 0) {
+			t.Fatal("warm rerun refused")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm RerunFlat allocates %v/run, want 0", allocs)
+	}
+}
+
+// TestDPWavefrontWarmAllocFree: the parallel band pipeline reuses its
+// progress counters and band table — a warm parallel RunFlat must not
+// allocate on the submitting goroutine or in the workers.
+func TestDPWavefrontWarmAllocFree(t *testing.T) {
+	skipIfRace(t)
+	pool := lattice.NewPool(2)
+	defer pool.Close()
+	pool.MinWindow = 1
+	b := lattice.NewBox([]int{0, 0}, []int{24, 24})
+	edgeX := make([]float64, b.Size()*2)
+	rng := rand.New(rand.NewSource(44))
+	for i := range edgeX {
+		edgeX[i] = rng.Float64()
+	}
+	dp := b.NewDP()
+	dp.SetPool(pool)
+	src := []int{0, 0}
+	dp.RunFlat(b.Lo, b.Hi, src, edgeX, nil)
+	allocs := testing.AllocsPerRun(50, func() {
+		dp.RunFlat(b.Lo, b.Hi, src, edgeX, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm parallel RunFlat allocates %v/run, want 0", allocs)
 	}
 }
 

@@ -77,6 +77,42 @@ func BenchmarkHotPath(b *testing.B) {
 			dp.RunFlat(box.Lo, box.Hi, src, edgeX, nil)
 		}
 	})
+	b.Run("DPRerunFlat", func(b *testing.B) {
+		// Incremental repair after a single edge-weight change — the kernel
+		// behind the engine's warm-start admit path. The weight toggles
+		// between two values so every iteration does real repair work.
+		b.ReportAllocs()
+		box := lattice.NewBox([]int{0, 0}, []int{48, 48})
+		edgeX := make([]float64, box.Size()*2)
+		rng := rand.New(rand.NewSource(1))
+		for i := range edgeX {
+			edgeX[i] = rng.Float64()
+		}
+		dp := box.NewDP()
+		src := []int{0, 0}
+		dp.RunFlat(box.Lo, box.Hi, src, edgeX, nil)
+		// An edge near the sink keeps the dirty cone small, matching the
+		// sparse-commit shape RerunFlat is built for.
+		tile := box.Index([]int{40, 40})
+		head, _ := box.Step(tile, 0)
+		seeds := []int{head}
+		e := tile*2 + 0
+		w0 := edgeX[e]
+		if !dp.RerunFlat(seeds, edgeX, nil, 0) {
+			b.Fatal("warm rerun refused")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				edgeX[e] = w0 + 0.7
+			} else {
+				edgeX[e] = w0
+			}
+			if !dp.RerunFlat(seeds, edgeX, nil, 0) {
+				b.Fatal("warm rerun refused")
+			}
+		}
+	})
 	b.Run("DPRunClosure", func(b *testing.B) {
 		b.ReportAllocs()
 		box := lattice.NewBox([]int{0, 0}, []int{48, 48})
@@ -137,10 +173,13 @@ func BenchmarkHotPath(b *testing.B) {
 // rejects); Saturated pins the cost-reject steady state, which is the
 // 0-alloc path gated by alloc_test.go.
 func BenchmarkEngineAdmit(b *testing.B) {
-	newEngine := func(b *testing.B) *engine.Engine {
+	newEngine := func(b *testing.B, noWarm bool) *engine.Engine {
 		b.Helper()
 		g := grid.Line(64, 3, 3)
-		eng, err := engine.New(g, engine.Options{Horizon: 256, PMax: core.PMaxDet(g), ExpectPackets: 4096})
+		eng, err := engine.New(g, engine.Options{
+			Horizon: 256, PMax: core.PMaxDet(g), ExpectPackets: 4096,
+			NoWarmStart: noWarm,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,7 +211,7 @@ func BenchmarkEngineAdmit(b *testing.B) {
 	}
 	b.Run("Mixed", func(b *testing.B) {
 		b.ReportAllocs()
-		eng := newEngine(b)
+		eng := newEngine(b, false)
 		ctx := context.Background()
 		pkt := engine.Packet{Src: grid.Vec{0}, Dst: grid.Vec{0}, Deadline: grid.InfDeadline}
 		b.ResetTimer()
@@ -187,12 +226,22 @@ func BenchmarkEngineAdmit(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 		drain(b, eng)
 	})
+	// Saturated measures the full-DP cost-reject steady state, so warm-start
+	// reuse is disabled (a warm engine would skip the DP entirely here — that
+	// path is the WarmStart sub-benchmark). The extra post-saturation admits
+	// before ResetTimer retire lazily-grown scratch state and branch-predictor
+	// cold starts that previously spread the baseline by ~75%.
 	b.Run("Saturated", func(b *testing.B) {
 		b.ReportAllocs()
-		eng := newEngine(b)
+		eng := newEngine(b, true)
 		ctx := context.Background()
 		pkt := engine.Packet{Src: grid.Vec{4}, Dst: grid.Vec{40}, Deadline: grid.InfDeadline}
 		saturate(b, eng, pkt)
+		for i := 0; i < 256; i++ {
+			if _, err := eng.Admit(ctx, pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Admit(ctx, pkt); err != nil {
@@ -202,6 +251,59 @@ func BenchmarkEngineAdmit(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 		drain(b, eng)
 	})
+	// WarmStart is Saturated with incremental DP reuse left on (the default
+	// engine configuration): repeated queries of an unchanged packer hit the
+	// version-delta-0 path and skip the DP outright.
+	b.Run("WarmStart", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := newEngine(b, false)
+		ctx := context.Background()
+		pkt := engine.Packet{Src: grid.Vec{4}, Dst: grid.Vec{40}, Deadline: grid.InfDeadline}
+		saturate(b, eng, pkt)
+		for i := 0; i < 256; i++ {
+			if _, err := eng.Admit(ctx, pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Admit(ctx, pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+		drain(b, eng)
+	})
+}
+
+// BenchmarkDPWavefront measures the pipelined parallel DP kernel at a few
+// pool widths against the same window the serial DPRunFlat benchmark sweeps.
+// It is deliberately outside the CI perf gate's filter: on a single-CPU
+// runner the timing is scheduler-dominated; on multicore hardware it is the
+// speedup evidence for the crossover guidance in README "Performance".
+func BenchmarkDPWavefront(b *testing.B) {
+	box := lattice.NewBox([]int{0, 0}, []int{96, 96})
+	edgeX := make([]float64, box.Size()*2)
+	rng := rand.New(rand.NewSource(1))
+	for i := range edgeX {
+		edgeX[i] = rng.Float64()
+	}
+	src := []int{0, 0}
+	for _, workers := range []int{2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			pool := lattice.NewPool(workers)
+			defer pool.Close()
+			pool.MinWindow = 1
+			dp := box.NewDP()
+			dp.SetPool(pool)
+			dp.RunFlat(box.Lo, box.Hi, src, edgeX, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dp.RunFlat(box.Lo, box.Hi, src, edgeX, nil)
+			}
+		})
+	}
 }
 
 // --- Table 1 -----------------------------------------------------------------

@@ -1,0 +1,165 @@
+// Command benchgate is the enforcing CI perf gate: it compares two raw
+// `go test -bench` output files (the committed bench/baseline.txt and the
+// run just produced) and fails when a hot-path benchmark's median ns/op
+// regressed by more than the threshold.
+//
+// It is deliberately a median-of-medians comparison, not a statistical
+// test: CI runs -count=3 on a pinned GOMAXPROCS=1 runner, which is too few
+// samples for benchstat's significance machinery but plenty for a median to
+// reject a step-function regression. benchstat remains in CI as the
+// advisory, human-readable diff; benchgate is what turns the job red.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate -baseline bench/baseline.txt -current bench-current.txt
+//	go run ./cmd/benchgate ... -threshold 0.15          # fail above +15% median ns/op
+//	go run ./cmd/benchgate ... -filter '^BenchmarkHotPath'
+//
+// Exit codes: 0 pass, 1 regression (or improvements-only note with -v), 2
+// usage/parse error. Benchmarks present in only one file are reported but
+// never fail the gate — refreshing the baseline is documented in
+// bench/README.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	baseline := fs.String("baseline", "bench/baseline.txt", "committed baseline bench output")
+	current := fs.String("current", "", "bench output of the run under test (required)")
+	threshold := fs.Float64("threshold", 0.15, "maximum tolerated relative ns/op regression (0.15 = +15%)")
+	filter := fs.String("filter", "^Benchmark(HotPath|Thm4DetLine|Thm1IPP|EngineAdmit)",
+		"regexp selecting the gated benchmark names")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		return 2
+	}
+	if *threshold <= 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -threshold must be > 0")
+		return 2
+	}
+	sel, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -filter: %v\n", err)
+		return 2
+	}
+
+	base, err := loadMedians(*baseline, sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	cur, err := loadMedians(*current, sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	compared := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("benchgate: %-45s only in baseline (skipped)\n", name)
+			continue
+		}
+		compared++
+		delta := (c - b) / b
+		status := "ok"
+		if delta > *threshold {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("benchgate: %-45s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
+			name, b, c, 100*delta, status)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("benchgate: %-45s new benchmark (not in baseline; refresh per bench/README.md)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark appears in both files — wrong -filter or empty inputs")
+		return 2
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d gated benchmarks regressed beyond +%.0f%% median ns/op\n",
+			failed, compared, 100**threshold)
+		return 1
+	}
+	fmt.Printf("benchgate: %d benchmarks within +%.0f%% of baseline\n", compared, 100**threshold)
+	return 0
+}
+
+// loadMedians parses raw `go test -bench` output and returns the median
+// ns/op per benchmark name matching sel. The repo pins GOMAXPROCS=1 for
+// gated runs, so names carry no -procs suffix (mirroring cmd/benchjson's
+// knownProcs==1 rule) and are compared verbatim.
+func loadMedians(path string, sel *regexp.Regexp) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	samples := map[string][]float64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // "BenchmarkFoo: log output", not a result line
+		}
+		name := fields[0]
+		if !sel.MatchString(name) {
+			continue
+		}
+		// Result lines are "<name> <N> <value> <unit> ..." pairs; pick ns/op.
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad ns/op value %q in %q", path, fields[i], line)
+			}
+			samples[name] = append(samples[name], v)
+			break
+		}
+	}
+	out := make(map[string]float64, len(samples))
+	for name, vs := range samples {
+		sort.Float64s(vs)
+		out[name] = vs[len(vs)/2]
+		if len(vs)%2 == 0 {
+			out[name] = (vs[len(vs)/2-1] + vs[len(vs)/2]) / 2
+		}
+	}
+	return out, nil
+}

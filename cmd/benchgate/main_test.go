@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseOut = `goos: linux
+pkg: gridroute
+BenchmarkHotPath/DPRunFlat   	   57238	     22457 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotPath/DPRunFlat   	   54460	     21680 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotPath/DPRunFlat   	   52075	     22233 ns/op	       0 B/op	       0 allocs/op
+BenchmarkThm1IPP             	     130	   9385086 ns/op	 1147721 B/op	     941 allocs/op
+BenchmarkThm1IPP             	     133	   8987446 ns/op	 1147722 B/op	     941 allocs/op
+BenchmarkFigure1Grid         	  100000	      1000 ns/op
+PASS
+`
+
+func TestLoadMediansPicksMedianAndFilters(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "base.txt", baseOut)
+	sel := regexp.MustCompile(`^Benchmark(HotPath|Thm1IPP)`)
+	m, err := loadMedians(path, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["BenchmarkHotPath/DPRunFlat"]; got != 22233 {
+		t.Fatalf("odd-count median = %v, want 22233", got)
+	}
+	// Even sample count: mean of the two central values.
+	if got := m["BenchmarkThm1IPP"]; got != (9385086+8987446)/2.0 {
+		t.Fatalf("even-count median = %v", got)
+	}
+	if _, ok := m["BenchmarkFigure1Grid"]; ok {
+		t.Fatal("filter must exclude non-gated benchmarks")
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.txt", baseOut)
+	cur := writeFile(t, dir, "cur.txt",
+		"BenchmarkHotPath/DPRunFlat 50000 24000 ns/op\nBenchmarkThm1IPP 100 9000000 ns/op\n")
+	if code := run([]string{"-baseline", base, "-current", cur, "-threshold", "0.15"}); code != 0 {
+		t.Fatalf("within-threshold run exited %d, want 0", code)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.txt", baseOut)
+	cur := writeFile(t, dir, "cur.txt",
+		"BenchmarkHotPath/DPRunFlat 30000 30000 ns/op\nBenchmarkThm1IPP 100 9000000 ns/op\n")
+	if code := run([]string{"-baseline", base, "-current", cur, "-threshold", "0.15"}); code != 1 {
+		t.Fatalf("+35%% regression exited %d, want 1", code)
+	}
+}
+
+func TestGateIgnoresMissingAndNewBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.txt", baseOut)
+	// DPRunFlat missing from current, a new benchmark appears: neither fails
+	// the gate as long as at least one name is shared and within threshold.
+	cur := writeFile(t, dir, "cur.txt",
+		"BenchmarkThm1IPP 100 9000000 ns/op\nBenchmarkHotPath/Brand/New 1000 5 ns/op\n")
+	if code := run([]string{"-baseline", base, "-current", cur}); code != 0 {
+		t.Fatalf("missing/new benchmarks exited %d, want 0", code)
+	}
+}
+
+func TestGateUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.txt", baseOut)
+	if code := run([]string{"-baseline", base}); code != 2 {
+		t.Fatal("missing -current must be a usage error")
+	}
+	empty := writeFile(t, dir, "empty.txt", "PASS\n")
+	if code := run([]string{"-baseline", base, "-current", empty}); code != 2 {
+		t.Fatal("no shared benchmarks must be a usage error")
+	}
+}

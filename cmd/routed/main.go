@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -125,6 +126,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	throttle := fs.Duration("throttle", 0, "pause between submissions per producer (paces the feed)")
 	statsEvery := fs.Duration("stats", 0, "live counter interval on stderr (0 = off)")
 	jsonPath := fs.String("json", "", "write the metrics JSON to this file instead of stdout")
+	dpWorkers := fs.Int("dp-workers", runtime.NumCPU(), "wavefront workers for the admission DP (1 = serial; decisions are identical at any setting)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -157,7 +159,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Queue: *queue, ExpectPackets: len(reqs),
 		// InOrder keeps the decision sequence (and therefore every metric
 		// below) independent of producer interleaving.
-		InOrder: true,
+		InOrder:   true,
+		DPWorkers: *dpWorkers,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "routed:", err)

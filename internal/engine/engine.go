@@ -36,6 +36,7 @@ import (
 	"gridroute/internal/detroute"
 	"gridroute/internal/grid"
 	"gridroute/internal/ipp"
+	"gridroute/internal/lattice"
 	"gridroute/internal/sketch"
 	"gridroute/internal/spacetime"
 	"gridroute/internal/tiling"
@@ -146,6 +147,16 @@ type Options struct {
 	// Result.Decisions (queue-full rejections are not recorded: they never
 	// reach the loop).
 	RecordDecisions bool
+	// DPWorkers sizes the wavefront worker pool the sketch session's
+	// lightest-path DP runs on: windows above the crossover threshold relax
+	// in parallel across DPWorkers bands, bit-identically to the serial
+	// sweep, so every decision (and all downstream output) is independent of
+	// the setting. ≤ 1 disables the pool.
+	DPWorkers int
+	// NoWarmStart disables incremental DP reuse between successive admits
+	// (sketch.Session warm start). Warm and cold engines decide identically;
+	// the switch exists for parity tests and benchmarks.
+	NoWarmStart bool
 }
 
 // DefaultQueue is the admission queue bound when Options.Queue is 0.
@@ -204,6 +215,7 @@ type Engine struct {
 	sk      *sketch.Graph
 	sess    *sketch.Session
 	pk      *ipp.Packer
+	dpPool  *lattice.Pool
 	horizon int64
 	pmax    int
 	k       int
@@ -293,6 +305,13 @@ func New(g *grid.Grid, opts Options) (*Engine, error) {
 	}
 	if opts.InOrder {
 		e.parked = make(map[int]*pending)
+	}
+	if opts.DPWorkers > 1 {
+		e.dpPool = lattice.NewPool(opts.DPWorkers)
+		e.sess.SetDPPool(e.dpPool)
+	}
+	if opts.NoWarmStart {
+		e.sess.SetWarmStart(false)
 	}
 	e.pool.New = func() any {
 		return &pending{

@@ -126,6 +126,10 @@ func (e *Engine) Drain(ctx context.Context) error {
 	e.mu.Unlock()
 	select {
 	case <-e.done:
+		// The consumer loop has exited; no further DP runs can be submitted,
+		// so the wavefront pool (if any) can be torn down. Close is nil-safe
+		// and idempotent, matching Drain's own contract.
+		e.dpPool.Close()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -64,6 +64,12 @@ func (b *Box) Size() int { return b.size }
 // Dim returns the extent of axis i.
 func (b *Box) Dim(i int) int { return b.dims[i] }
 
+// Stride returns the id increment of a +1 step along axis i: for p inside the
+// box with p+e_i inside too, Index(p+e_i) = Index(p) + Stride(i). It lets a
+// caller walk a path's node ids incrementally instead of re-indexing each
+// point.
+func (b *Box) Stride(i int) int { return b.stride[i] }
+
 // Contains reports whether p lies inside the box.
 func (b *Box) Contains(p []int) bool {
 	if len(p) != len(b.Lo) {
@@ -203,6 +209,18 @@ type DP struct {
 	srcAbs []int
 	pt     []int // odometer scratch
 	valid  bool
+
+	srcW       int     // window index of the source (meaningful when valid)
+	winBoxBase int     // box.Index(winLo): box id of the window origin
+	lastBound  float64 // relaxation bound of the last flat run (Inf = exact)
+	flatRun    bool    // last run used flat slices (RerunFlat precondition)
+
+	pool *Pool    // optional wavefront worker pool (nil = always serial)
+	par  parState // per-run parallel bookkeeping (reused)
+
+	heap      []int32  // RerunFlat frontier: binary min-heap of window ids
+	mark      []uint32 // epoch-stamped in-frontier marks
+	markEpoch uint32
 }
 
 // NewDP returns a DP bound to box.
@@ -233,10 +251,12 @@ func (dp *DP) inWindow(p []int) bool {
 	return true
 }
 
-// setupWindow clips the window to the box, sizes the cost/pred buffers and
-// resets them. It returns the window index of src, or ok=false when the
-// window is empty or src lies outside it. Buffers are reused across calls,
-// so a warm DP allocates nothing.
+// setupWindow clips the window to the box and sizes the cost/pred buffers.
+// It returns the window index of src, or ok=false when the window is empty
+// or src lies outside it. Buffers are reused across calls, so a warm DP
+// allocates nothing. The buffers are NOT reset here: the pull kernels (serial
+// and parallel) write every node themselves; only the push fallback and the
+// closure-based Run call resetState.
 func (dp *DP) setupWindow(winLo, winHi, src []int) (srcW int, ok bool) {
 	d := dp.box.D()
 	dp.wsize = 1
@@ -266,17 +286,24 @@ func (dp *DP) setupWindow(winLo, winHi, src []int) (srcW int, ok bool) {
 	}
 	dp.cost = dp.cost[:dp.wsize]
 	dp.pred = dp.pred[:dp.wsize]
-	for i := range dp.cost {
-		dp.cost[i] = Inf
-		dp.pred[i] = -1
-	}
 	if !dp.inWindow(src) {
 		dp.valid = false
 		return 0, false
 	}
 	copy(dp.srcAbs, src)
+	dp.winBoxBase = dp.box.Index(dp.winLo)
 	dp.valid = true
-	return dp.winIndex(src), true
+	dp.srcW = dp.winIndex(src)
+	return dp.srcW, true
+}
+
+// resetState fills the window with the pre-relaxation state: every node
+// unreachable with no predecessor.
+func (dp *DP) resetState() {
+	for i := range dp.cost {
+		dp.cost[i] = Inf
+		dp.pred[i] = -1
+	}
 }
 
 // Run computes lightest paths from src to every point of the window
@@ -287,6 +314,9 @@ func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
 	if !ok {
 		return
 	}
+	dp.flatRun = false
+	dp.lastBound = Inf
+	dp.resetState()
 	if nodeW != nil {
 		dp.cost[srcW] = nodeW(dp.box.Index(src))
 	} else {
@@ -339,24 +369,338 @@ func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
 // (nil nodeX means zero node weights). This is the packing hot path: the
 // slices are an ipp dense packer's weight universe, indexed directly with no
 // call or hash per relaxation.
+//
+// When a Pool has been attached via SetPool and the window clears the pool's
+// crossover threshold, the relaxation runs on the pool's wavefront workers;
+// results are bit-identical to the serial sweep (see parallel.go).
 func (dp *DP) RunFlat(winLo, winHi, src []int, edgeX, nodeX []float64) {
+	dp.runFlatBounded(winLo, winHi, src, edgeX, nodeX, Inf)
+}
+
+// RunFlatBounded is RunFlat except that relaxation stops at nodes whose cost
+// has reached bound: their outgoing edges are never relaxed. Every node whose
+// exact lightest cost is < bound gets the bit-identical cost and predecessor
+// RunFlat would compute (a pruned candidate has cost ≥ bound and so can
+// neither win nor tie below the bound); nodes at or beyond the bound report
+// some cost ≥ bound, or Inf. Callers that only consume results strictly below
+// bound — the Theorem 13 oracle's accept test at cost < 1 — therefore see
+// exact answers at a fraction of the relaxation work on saturated lattices.
+func (dp *DP) RunFlatBounded(winLo, winHi, src []int, edgeX, nodeX []float64, bound float64) {
+	dp.runFlatBounded(winLo, winHi, src, edgeX, nodeX, bound)
+}
+
+func (dp *DP) runFlatBounded(winLo, winHi, src []int, edgeX, nodeX []float64, bound float64) {
 	srcW, ok := dp.setupWindow(winLo, winHi, src)
 	if !ok {
 		return
 	}
+	dp.flatRun = true
+	dp.lastBound = bound
+	if p := dp.pool; p != nil && p.Workers() > 1 && dp.box.D() <= maxParAxes &&
+		dp.wsize >= p.minWindow() && dp.wdims[0] >= 2 {
+		if dp.runFlatParallel(edgeX, nodeX, bound) {
+			return
+		}
+	}
+	// Serial pull sweep: every window node is computed from its (already
+	// final) predecessors and written exactly once, so the O(window) Inf/−1
+	// reset pass the push sweep needs disappears entirely — it was ~15% of
+	// a full run. Bit-identity with the push order is the same argument the
+	// parallel kernel rests on (see parallel.go's package comment). The
+	// push sweep remains only for d > maxParAxes, where the pull odometer's
+	// stack scratch runs out.
+	if dp.box.D() <= maxParAxes {
+		ps := &dp.par
+		ps.edgeX, ps.nodeX, ps.bound = edgeX, nodeX, bound
+		rows := dp.wdims[0]
+		ps.cols = dp.wsize / rows
+		if nodeX != nil {
+			dp.cost[srcW] = nodeX[dp.box.Index(src)]
+		} else {
+			dp.cost[srcW] = 0
+		}
+		dp.pred[srcW] = -1
+		if dp.box.D() == 2 {
+			dp.runPull2()
+		} else {
+			dp.runChunkGeneric(0, rows, 0, ps.cols)
+		}
+		return
+	}
+	dp.resetState()
 	if nodeX != nil {
 		dp.cost[srcW] = nodeX[dp.box.Index(src)]
 	} else {
 		dp.cost[srcW] = 0
 	}
+	dp.runFlatGeneric(edgeX, nodeX, bound)
+}
 
+// runPull2 is the serial d == 2 pull sweep: runChunk2 over the whole window,
+// plus a dead-row cutoff the banded parallel kernel cannot take. Once a row at
+// or past the source's row ends with every cost ≥ bound, every later row is
+// all-Inf — a candidate pulled from the dead row is pruned by the bound gate,
+// and a within-row candidate is Inf by induction along the row — so the
+// remainder is bulk-filled with the exact values (Inf, −1) the full sweep
+// would compute. Results are bit-identical to runChunk2 over the window; the
+// payoff is on saturated bounded runs (the Theorem 13 oracle at bound = 1),
+// where the reachable region collapses to a few rows near the source and the
+// fill is several times cheaper per node than the pull.
+func (dp *DP) runPull2() {
+	if dp.par.nodeX == nil {
+		dp.runPull2NoNode()
+		return
+	}
+	ps := &dp.par
+	cost, pred := dp.cost, dp.pred
+	edgeX, nodeX, bound := ps.edgeX, ps.nodeX, ps.bound
+	cols := ps.cols
+	bs0, bs1 := dp.box.stride[0], dp.box.stride[1]
+	rows := dp.wdims[0]
+	srcW := dp.srcW
+	srcRow := srcW / cols
+	for i := 0; i < rows; i++ {
+		alive := false
+		w := i * cols
+		bID := dp.winBoxBase + i*bs0
+		for c := 0; c < cols; c++ {
+			if w == srcW {
+				if cost[w] < bound {
+					alive = true
+				}
+				w++
+				bID += bs1
+				continue
+			}
+			best, bp := Inf, int8(-1)
+			if i > 0 {
+				if pc := cost[w-cols]; pc < bound {
+					ec := pc + edgeX[(bID-bs0)*2] + nodeX[bID]
+					if ec < best {
+						best, bp = ec, 0
+					}
+				}
+			}
+			if c > 0 {
+				if pc := cost[w-1]; pc < bound {
+					ec := pc + edgeX[(bID-bs1)*2+1] + nodeX[bID]
+					if ec < best {
+						best, bp = ec, 1
+					}
+				}
+			}
+			cost[w], pred[w] = best, bp
+			if best < bound {
+				alive = true
+			}
+			w++
+			bID += bs1
+		}
+		// Rows before the source's row are legitimately all-Inf — the
+		// up-front source write revives row srcRow, so the induction only
+		// starts there.
+		if !alive && i >= srcRow {
+			dp.fillDead((i+1)*cols, dp.wsize)
+			return
+		}
+	}
+}
+
+// runPull2NoNode is runPull2 for nil node weights — every packing hot path
+// (the sketch session and the space-time packer index edge weights only).
+// Column 0 and the source's row are peeled so the steady-state inner loop
+// carries no per-node boundary, source, or nil checks; dp fields are hoisted
+// into locals because stores through cost/pred keep the compiler from
+// proving dp itself is unmodified.
+//
+// Beyond the dead-row cutoff, each row's scan terminates early at the alive
+// frontier. A cell is alive when its cost is < bound; a dead cell — Inf or a
+// finite cost at/past the bound — is pruned as a predecessor by the bound
+// gate, so a cell can only be non-Inf if its vertical or horizontal
+// predecessor is alive. Scanning row i left to right, once the column is past
+// `revive` (the last alive column of row i−1, or the source's column in its
+// row) and the cell just written is dead, no later cell in the row has an
+// alive predecessor: the remainder is exactly (Inf, −1) and is bulk-filled.
+// On bounded runs the per-offer work shrinks from the window's area to
+// roughly the reachable-below-bound region's.
+func (dp *DP) runPull2NoNode() {
+	ps := &dp.par
+	cost, pred := dp.cost, dp.pred
+	edgeX, bound := ps.edgeX, ps.bound
+	cols := ps.cols
+	bs0, bs1 := dp.box.stride[0], dp.box.stride[1]
+	rows := dp.wdims[0]
+	srcW := dp.srcW
+	srcRow, srcCol := srcW/cols, srcW%cols
+	srcAlive := cost[srcW] < bound
+	revive := -1 // last column of the previous row that can revive this one
+	for i := 0; i < rows; i++ {
+		if i == srcRow && srcAlive && srcCol > revive {
+			revive = srcCol
+		}
+		maxA := -1   // last alive column written in this row
+		stop := cols // first column of the row's dead remainder
+		w := i * cols
+		bID := dp.winBoxBase + i*bs0
+		// Column 0: no horizontal predecessor.
+		if w == srcW {
+			if srcAlive {
+				maxA = 0
+			}
+		} else {
+			best, bp := Inf, int8(-1)
+			if i > 0 {
+				if pc := cost[w-cols]; pc < bound {
+					if ec := pc + edgeX[(bID-bs0)*2]; ec < best {
+						best, bp = ec, 0
+					}
+				}
+			}
+			cost[w], pred[w] = best, bp
+			if best < bound {
+				maxA = 0
+			} else if revive < 0 {
+				stop = 1
+			}
+		}
+		w++
+		// The inner loops carry the just-written cell in `left` (sparing the
+		// cost[w−1] reload) and advance the two edgeX indices by strength
+		// reduction: a +1 column step moves the vertical-pull index
+		// (bID−bs0)·2 and the horizontal-pull index (bID−bs1)·2+1 by 2·bs1
+		// each.
+		left := cost[w-1]
+		vE := (dp.winBoxBase + i*bs0 + bs1 - bs0) * 2
+		hE := (dp.winBoxBase+i*bs0)*2 + 1
+		bs12 := bs1 * 2
+		switch {
+		case stop < cols:
+			// Row died at column 0.
+		case i == srcRow:
+			// The source's row (this also covers a top row holding the
+			// source): per-cell source skip, vertical pulls only when a row
+			// exists above.
+			for c := 1; c < cols; c++ {
+				if w == srcW {
+					if srcAlive {
+						maxA = c
+					}
+					left = cost[w]
+					w++
+					vE += bs12
+					hE += bs12
+					continue
+				}
+				best, bp := Inf, int8(-1)
+				if i > 0 {
+					if pc := cost[w-cols]; pc < bound {
+						if ec := pc + edgeX[vE]; ec < best {
+							best, bp = ec, 0
+						}
+					}
+				}
+				if left < bound {
+					if ec := left + edgeX[hE]; ec < best {
+						best, bp = ec, 1
+					}
+				}
+				cost[w], pred[w] = best, bp
+				left = best
+				if best < bound {
+					maxA = c
+				} else if c > revive {
+					stop = c + 1
+					break
+				}
+				w++
+				vE += bs12
+				hE += bs12
+			}
+		case i == 0:
+			// Top row without the source: horizontal prefix only.
+			for c := 1; c < cols; c++ {
+				best, bp := Inf, int8(-1)
+				if left < bound {
+					if ec := left + edgeX[hE]; ec < best {
+						best, bp = ec, 1
+					}
+				}
+				cost[w], pred[w] = best, bp
+				left = best
+				if best < bound {
+					maxA = c
+				} else if c > revive {
+					stop = c + 1
+					break
+				}
+				w++
+				hE += bs12
+			}
+		default:
+			// Steady state: both predecessors exist, the source is
+			// elsewhere.
+			for c := 1; c < cols; c++ {
+				best, bp := Inf, int8(-1)
+				if pc := cost[w-cols]; pc < bound {
+					if ec := pc + edgeX[vE]; ec < best {
+						best, bp = ec, 0
+					}
+				}
+				if left < bound {
+					if ec := left + edgeX[hE]; ec < best {
+						best, bp = ec, 1
+					}
+				}
+				cost[w], pred[w] = best, bp
+				left = best
+				if best < bound {
+					maxA = c
+				} else if c > revive {
+					stop = c + 1
+					break
+				}
+				w++
+				vE += bs12
+				hE += bs12
+			}
+		}
+		if stop < cols {
+			dp.fillDead(i*cols+stop, (i+1)*cols)
+		}
+		if maxA < 0 && i >= srcRow {
+			// Fully dead row at or past the source's: everything below is
+			// dead too.
+			dp.fillDead((i+1)*cols, dp.wsize)
+			return
+		}
+		revive = maxA
+	}
+}
+
+// fillDead writes the exact dead-region values (Inf, −1) to window indices
+// [from, to) after an alive-frontier or dead-row cutoff.
+func (dp *DP) fillDead(from, to int) {
+	cost, pred := dp.cost[from:to], dp.pred[from:to]
+	for j := range cost {
+		cost[j] = Inf
+	}
+	for j := range pred {
+		pred[j] = -1
+	}
+}
+
+// runFlatGeneric is the any-dimension serial push kernel (the original
+// RunFlat sweep, with the relaxation cutoff generalized from Inf to bound).
+// It survives only as the d > maxParAxes fallback; every d ≤ maxParAxes
+// window takes the pull path above.
+func (dp *DP) runFlatGeneric(edgeX, nodeX []float64, bound float64) {
 	d := dp.box.D()
 	pt := dp.pt
 	copy(pt, dp.winLo)
-	boxID := dp.box.Index(pt)
+	boxID := dp.winBoxBase
 	for w := 0; w < dp.wsize; w++ {
 		c := dp.cost[w]
-		if c < Inf {
+		if c < bound {
 			base := boxID * d
 			for a := 0; a < d; a++ {
 				if pt[a]+1 >= dp.winHi[a] {
@@ -395,10 +739,46 @@ func (dp *DP) CostAt(p []int) float64 {
 	return dp.cost[dp.winIndex(p)]
 }
 
+// MinCostRay returns the least cost over the points obtained from p by
+// ranging p[axis] over [lo, hi], together with the coordinate achieving it
+// (ties resolve to the lowest coordinate, like an ascending CostAt scan with
+// a strict comparison). Out-of-window coordinates contribute Inf. This is
+// the sink-side scan of a packer's Offer — one windowed slice walk instead
+// of a winIndex odometer per probe.
+func (dp *DP) MinCostRay(p []int, axis, lo, hi int) (best float64, bestAt int) {
+	best, bestAt = Inf, lo
+	if !dp.valid {
+		return best, bestAt
+	}
+	for i, x := range p {
+		if i != axis && (x < dp.winLo[i] || x >= dp.winHi[i]) {
+			return best, bestAt
+		}
+	}
+	clo, chi := lo, hi
+	if wlo := dp.winLo[axis]; clo < wlo {
+		clo = wlo
+	}
+	if whi := dp.winHi[axis] - 1; chi > whi {
+		chi = whi
+	}
+	if clo > chi {
+		return best, bestAt
+	}
+	str := dp.wstr[axis]
+	id := dp.winIndex(p) + (clo-p[axis])*str
+	for w := clo; w <= chi; w++ {
+		if c := dp.cost[id]; c < best {
+			best, bestAt = c, w
+		}
+		id += str
+	}
+	return best, bestAt
+}
+
 // PathTo reconstructs the lightest path to p. It returns nil when p is
-// unreachable. The path is materialized in exactly three allocations (Path,
-// start coords, axes): the predecessor chain is walked once to count steps
-// and once to fill the axes in forward order.
+// unreachable. The path is materialized in at most three allocations (Path,
+// start coords, axes).
 func (dp *DP) PathTo(p []int) *Path {
 	var out Path
 	if !dp.PathInto(p, &out) {
@@ -415,28 +795,211 @@ func (dp *DP) PathInto(p []int, out *Path) bool {
 	if dp.CostAt(p) == Inf {
 		return false
 	}
+	// Walk the predecessor chain once, tracking the window index
+	// incrementally (winIndex per step is a d-term dot product; a step along
+	// axis a just subtracts wstr[a]). The walk emits axes sink→source;
+	// reverse in place to report them forward.
 	cur := append(out.Start[:0], p...)
-	n := 0
+	wi := dp.winIndex(cur)
+	axes := out.Axes[:0]
 	for {
-		a := dp.pred[dp.winIndex(cur)]
+		a := dp.pred[wi]
 		if a < 0 {
 			break
 		}
-		n++
+		axes = append(axes, uint8(a))
+		wi -= dp.wstr[a]
 		cur[a]--
 	}
-	if cap(out.Axes) < n {
-		out.Axes = make([]uint8, n)
-	}
-	axes := out.Axes[:n]
-	copy(cur, p)
-	for i := n - 1; i >= 0; i-- {
-		a := dp.pred[dp.winIndex(cur)]
-		axes[i] = uint8(a)
-		cur[a]--
+	for i, j := 0, len(axes)-1; i < j; i, j = i+1, j-1 {
+		axes[i], axes[j] = axes[j], axes[i]
 	}
 	// cur is now the source.
 	out.Start, out.Axes = cur, axes
+	return true
+}
+
+// SetPool attaches (or, with nil, detaches) a wavefront worker pool. RunFlat
+// and RunFlatBounded consult it on every call: windows at or above the pool's
+// crossover threshold relax in parallel, smaller ones stay serial. The
+// results are bit-identical either way, so a pool can be attached to any DP
+// without changing observable behaviour.
+func (dp *DP) SetPool(p *Pool) { dp.pool = p }
+
+// boxToWin maps a box node id to its window index, reporting false when the
+// node lies outside the current window.
+func (dp *DP) boxToWin(bid int) (int, bool) {
+	w := 0
+	for a := 0; a < dp.box.D(); a++ {
+		c := dp.box.Lo[a] + (bid/dp.box.stride[a])%dp.box.dims[a]
+		if c < dp.winLo[a] || c >= dp.winHi[a] {
+			return 0, false
+		}
+		w += (c - dp.winLo[a]) * dp.wstr[a]
+	}
+	return w, true
+}
+
+// pullNode recomputes the value of window node w from its in-window
+// predecessors, evaluating exactly the expressions the full flat sweep
+// evaluates (same float operation order, same strict-< tie-break with axes
+// considered in ascending order, same relaxation bound), so an unchanged
+// node reproduces its stored cost and predecessor bit for bit.
+func (dp *DP) pullNode(w int, edgeX, nodeX []float64) (float64, int8) {
+	if w == dp.srcW {
+		if nodeX != nil {
+			return nodeX[dp.box.Index(dp.srcAbs)], -1
+		}
+		return 0, -1
+	}
+	d := dp.box.D()
+	bound := dp.lastBound
+	best, bp := Inf, int8(-1)
+	bID := dp.winBoxBase
+	rem := w
+	var off [maxParAxes]int
+	for a := 0; a < d; a++ {
+		off[a] = rem / dp.wstr[a]
+		rem %= dp.wstr[a]
+		bID += off[a] * dp.box.stride[a]
+	}
+	for a := 0; a < d; a++ {
+		if off[a] == 0 {
+			continue
+		}
+		pc := dp.cost[w-dp.wstr[a]]
+		if pc >= bound {
+			continue
+		}
+		ec := pc + edgeX[(bID-dp.box.stride[a])*d+a]
+		if nodeX != nil {
+			ec += nodeX[bID]
+		}
+		if ec < best {
+			best, bp = ec, int8(a)
+		}
+	}
+	return best, bp
+}
+
+// heapPush inserts w into the frontier min-heap.
+func (dp *DP) heapPush(w int32) {
+	h := append(dp.heap, w)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	dp.heap = h
+}
+
+// heapPop removes and returns the smallest window index in the frontier.
+func (dp *DP) heapPop() int32 {
+	h := dp.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			m = r
+		}
+		if h[i] <= h[m] {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	dp.heap = h
+	return top
+}
+
+// RerunFlat incrementally repairs the last flat run after a sparse weight
+// change, instead of re-relaxing the whole window. seeds are the box node
+// ids whose value may have changed directly: the head of every lattice edge
+// whose edgeX entry changed, plus every node whose nodeX entry changed
+// (seeds outside the window are ignored). The window, source, and weight
+// slices must be those of the last RunFlat/RunFlatBounded call, with only
+// the seeded entries modified.
+//
+// The frontier is processed in ascending window-index order (a topological
+// order), pulling each node's value fresh from its predecessors and
+// propagating to successors only when the stored cost or predecessor
+// actually changed — so the repaired state is bit-identical to a cold rerun.
+// maxFrontier caps the dirty set (≤ 0 picks wsize/8 + 64); on overflow, or
+// when no flat run is cached, RerunFlat returns false and invalidates the
+// DP: the caller must fall back to a full RunFlat.
+func (dp *DP) RerunFlat(seeds []int, edgeX, nodeX []float64, maxFrontier int) bool {
+	if !dp.valid || !dp.flatRun {
+		return false
+	}
+	if maxFrontier <= 0 {
+		maxFrontier = dp.wsize/8 + 64
+	}
+	if cap(dp.mark) < dp.wsize {
+		dp.mark = make([]uint32, dp.wsize)
+		dp.markEpoch = 0
+	}
+	dp.mark = dp.mark[:dp.wsize]
+	dp.markEpoch++
+	if dp.markEpoch == 0 { // wrapped: one real clear every 2^32 reruns
+		for i := range dp.mark {
+			dp.mark[i] = 0
+		}
+		dp.markEpoch = 1
+	}
+	dp.heap = dp.heap[:0]
+	pushed := 0
+	for _, bid := range seeds {
+		w, ok := dp.boxToWin(bid)
+		if !ok || dp.mark[w] == dp.markEpoch {
+			continue
+		}
+		dp.mark[w] = dp.markEpoch
+		if pushed++; pushed > maxFrontier {
+			dp.valid = false
+			return false
+		}
+		dp.heapPush(int32(w))
+	}
+	d := dp.box.D()
+	for len(dp.heap) > 0 {
+		w := int(dp.heapPop())
+		c, p := dp.pullNode(w, edgeX, nodeX)
+		if c == dp.cost[w] && p == dp.pred[w] {
+			continue // unchanged: successors cannot be affected through w
+		}
+		dp.cost[w] = c
+		dp.pred[w] = p
+		rem := w
+		for a := 0; a < d; a++ {
+			off := rem / dp.wstr[a]
+			rem %= dp.wstr[a]
+			if off+1 >= dp.wdims[a] {
+				continue
+			}
+			nw := w + dp.wstr[a]
+			if dp.mark[nw] == dp.markEpoch {
+				continue
+			}
+			dp.mark[nw] = dp.markEpoch
+			if pushed++; pushed > maxFrontier {
+				dp.valid = false
+				return false
+			}
+			dp.heapPush(int32(nw))
+		}
+	}
 	return true
 }
 

@@ -43,8 +43,8 @@ type STPacker struct {
 	winLo, winHi []int
 	probe        []int
 	srcBuf       []int
-	curBuf       []int
 	edgeBuf      []ipp.EdgeID
+	path         lattice.Path
 }
 
 // NewSTPacker builds a packer over st with the given axis capacities and
@@ -76,13 +76,21 @@ func NewSTPacker(st *spacetime.Graph, bCap, cCap float64, pmax int) *STPacker {
 // Packer exposes the underlying ipp state (loads, primal value, counts).
 func (sp *STPacker) Packer() *ipp.Packer { return sp.pk }
 
-func (sp *STPacker) edgeID(node, axis int) ipp.EdgeID {
-	return ipp.EdgeID(node*(sp.ST.G.D()+1) + axis)
+// LightestPath returns the current lightest legal space-time path for r and
+// its weight, or nil when no legal path exists. The returned path aliases a
+// buffer owned by the packer and is valid until the next LightestPath or
+// Offer call; copy it to retain it.
+func (sp *STPacker) LightestPath(r *grid.Request) (*lattice.Path, float64) {
+	return sp.lightestPath(r, lattice.Inf)
 }
 
-// LightestPath returns the current lightest legal space-time path for r and
-// its weight, or nil when no legal path exists.
-func (sp *STPacker) LightestPath(r *grid.Request) (*lattice.Path, float64) {
+// lightestPath is LightestPath with a relaxation bound: paths are reported
+// only when their weight is < bound, and the DP prunes relaxations from
+// nodes at or beyond it (RunFlatBounded is bit-exact below the bound). The
+// accept test of Algorithm 3 is cost < 1, so Offer passes bound 1: on a
+// saturated lattice most of the window exceeds the bound and is never
+// relaxed, while every decision — and the committed path — stays identical.
+func (sp *STPacker) lightestPath(r *grid.Request, bound float64) (*lattice.Path, float64) {
 	d := sp.ST.G.D()
 	src := sp.ST.ToLattice(r.Src, r.Arrival, sp.srcBuf)
 	if !sp.ST.Box.Contains(src) {
@@ -121,40 +129,46 @@ func (sp *STPacker) LightestPath(r *grid.Request) (*lattice.Path, float64) {
 	// which is exactly RunFlat's layout. Bufferless runs need no explicit
 	// w-edge blocking: winHi[d] = src[d]+1 gives the window w-extent 1, so
 	// the DP never relaxes a w edge.
-	sp.dp.RunFlat(sp.winLo, sp.winHi, src, sp.pk.Weights(), nil)
+	sp.dp.RunFlatBounded(sp.winLo, sp.winHi, src, sp.pk.Weights(), nil, bound)
 
 	probe := sp.probe
 	copy(probe, r.Dst)
-	best := lattice.Inf
-	bestW := 0
-	for w := wLo; w <= wHi; w++ {
-		probe[d] = w
-		if c := sp.dp.CostAt(probe); c < best {
-			best = c
-			bestW = w
-		}
-	}
-	if best == lattice.Inf {
+	probe[d] = wLo
+	best, bestW := sp.dp.MinCostRay(probe, d, wLo, wHi)
+	if best >= bound {
 		return nil, 0
 	}
 	probe[d] = bestW
-	return sp.dp.PathTo(probe), best
+	// A warm reused path makes reconstruction allocation-free; a packer
+	// offering n requests otherwise allocates 3n path objects, and the GC
+	// cycles they force are visible on the Theorem 1 benchmark.
+	if !sp.dp.PathInto(probe, &sp.path) {
+		return nil, 0
+	}
+	return &sp.path, best
 }
 
 // Offer runs one step of Algorithm 3 for r: find the lightest path, accept
-// if its weight is < 1. It returns the committed path on acceptance.
+// if its weight is < 1. It returns the committed path on acceptance; like
+// LightestPath's, the path is valid until the next call on the packer.
+//
+// The search is bounded at 1: a request whose lightest path weighs ≥ 1 is
+// rejected whether or not the exact weight is known, and the packer's
+// observable evolution (rejected count, untouched weights) is the same for
+// "no path found" and "path too heavy" — so pruning the DP at the accept
+// threshold changes nothing but the work done.
 func (sp *STPacker) Offer(r *grid.Request) (*lattice.Path, bool) {
-	p, cost := sp.LightestPath(r)
+	p, cost := sp.lightestPath(r, 1)
 	if p == nil {
 		sp.pk.Offer(nil, 0)
 		return nil, false
 	}
 	sp.edgeBuf = sp.edgeBuf[:0]
-	cur := append(sp.curBuf[:0], p.Start...)
-	sp.curBuf = cur
+	axes := sp.ST.G.D() + 1
+	id := sp.ST.Box.Index(p.Start)
 	for _, a := range p.Axes {
-		sp.edgeBuf = append(sp.edgeBuf, sp.edgeID(sp.ST.Box.Index(cur), int(a)))
-		cur[a]++
+		sp.edgeBuf = append(sp.edgeBuf, ipp.EdgeID(id*axes+int(a)))
+		id += sp.ST.Box.Stride(int(a))
 	}
 	if !sp.pk.Offer(sp.edgeBuf, cost) {
 		return nil, false

@@ -96,6 +96,21 @@ type Session struct {
 	winHi   []int
 	probe   []int
 	path    lattice.Path // reused by LightestRouteInto
+
+	// Warm-start cache (dense packers only): the DP solution of the last
+	// query stays valid while the packer's version is unchanged, and repairs
+	// incrementally when exactly one path committed since — the committed
+	// edges (ipp.LastCommitted) seed a re-relaxation frontier instead of a
+	// full window sweep. Any window/source/packer mismatch, a multi-commit
+	// delta, or a frontier overflow falls back to the full RunFlat.
+	warm      bool
+	lastPk    *ipp.Packer
+	lastVer   uint64
+	lastWinLo []int
+	lastWinHi []int
+	lastSrc   []int
+	lastValid bool
+	dirtyBuf  []int
 }
 
 // NewSession creates a fresh query session over the graph.
@@ -108,6 +123,69 @@ func (g *Graph) NewSession() *Session {
 		winLo:   make([]int, g.axes),
 		winHi:   make([]int, g.axes),
 		probe:   make([]int, g.axes),
+
+		warm:      true,
+		lastWinLo: make([]int, g.axes),
+		lastWinHi: make([]int, g.axes),
+		lastSrc:   make([]int, g.axes),
+	}
+}
+
+// SetWarmStart toggles incremental DP reuse between successive queries
+// (default on). Warm and cold sessions answer every query identically — the
+// incremental repair is bit-exact — so this exists for benchmarks, parity
+// tests, and as an escape hatch.
+func (s *Session) SetWarmStart(on bool) {
+	s.warm = on
+	s.lastValid = false
+}
+
+// SetDPPool attaches a wavefront worker pool to the session's DP: queries
+// whose windows clear the pool's crossover run the relaxation in parallel,
+// bit-identically to the serial sweep.
+func (s *Session) SetDPPool(p *lattice.Pool) { s.dp.SetPool(p) }
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// warmRun tries to satisfy the current query (window/source already in
+// s.winLo/s.winHi/s.srcTile) from the cached DP solution. It reports true
+// when the cached state is current — either untouched (version delta 0: skip
+// the DP entirely) or repaired in place via RerunFlat (delta 1). False means
+// the caller must run the full sweep.
+func (s *Session) warmRun(pk *ipp.Packer, xs, nodeX []float64) bool {
+	if !s.warm || !s.lastValid || pk != s.lastPk ||
+		!equalInts(s.lastWinLo, s.winLo) || !equalInts(s.lastWinHi, s.winHi) ||
+		!equalInts(s.lastSrc, s.srcTile) {
+		return false
+	}
+	switch pk.Version() - s.lastVer {
+	case 0:
+		return true // no commit since: weights, and so the solution, unchanged
+	case 1:
+		seeds := s.dirtyBuf[:0]
+		for _, e := range pk.LastCommitted() {
+			tile, axis, interior := s.g.DecodeEdge(e)
+			if interior {
+				// Interior (node) weight: every path through the tile repays
+				// its visit cost, so the tile's own value is dirty.
+				seeds = append(seeds, tile)
+				continue
+			}
+			if head, ok := s.g.Tl.TBox.Step(tile, axis); ok {
+				seeds = append(seeds, head)
+			}
+		}
+		s.dirtyBuf = seeds
+		return s.dp.RerunFlat(seeds, xs, nodeX, 0)
+	default:
+		return false
 	}
 }
 
@@ -273,7 +351,15 @@ func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec
 		if g.Mode == Downscaled {
 			nodeX = xs[g.Tl.TBox.Size()*g.axes:]
 		}
-		s.dp.RunFlat(s.winLo, s.winHi, s.srcTile, xs, nodeX)
+		if !s.warmRun(pk, xs, nodeX) {
+			s.dp.RunFlat(s.winLo, s.winHi, s.srcTile, xs, nodeX)
+		}
+		if s.warm {
+			s.lastPk, s.lastVer, s.lastValid = pk, pk.Version(), true
+			copy(s.lastWinLo, s.winLo)
+			copy(s.lastWinHi, s.winHi)
+			copy(s.lastSrc, s.srcTile)
+		}
 	} else {
 		var nodeW lattice.NodeWeight
 		if g.Mode == Downscaled {
@@ -281,6 +367,7 @@ func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec
 		}
 		edgeW := func(id, a int) float64 { return pk.Weight(g.AxisEdgeID(id, a)) }
 		s.dp.Run(s.winLo, s.winHi, s.srcTile, edgeW, nodeW)
+		s.lastValid = false // closure runs leave no flat state to warm-start
 	}
 
 	// Minimize over the destination ray.
