@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"gridroute/internal/baseline"
@@ -274,6 +275,48 @@ func BenchmarkEngineAdmit(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 		drain(b, eng)
 	})
+	// fanIn drives the engine from 4×GOMAXPROCS blocking producers (the
+	// b.RunParallel fan-in keeps the admission pipeline full, unlike the
+	// one-at-a-time loops above, whose in-flight depth is 1). specWorkers 0
+	// is the serial consumer loop under concurrent load; > 0 is the
+	// speculative pipeline — the multi-core headline of the trajectory.
+	// Deliberately outside the CI perf gate's filter: timings are
+	// GOMAXPROCS-dependent by design, and benchjson labels the entries with
+	// the procs value instead of merging them with the serial baseline.
+	fanIn := func(b *testing.B, specWorkers int) {
+		b.ReportAllocs()
+		g := grid.Line(64, 3, 3)
+		eng, err := engine.New(g, engine.Options{
+			Horizon: 256, PMax: core.PMaxDet(g), ExpectPackets: 4096,
+			SpecWorkers: specWorkers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		var seq atomic.Int64
+		b.SetParallelism(4)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			pkt := engine.Packet{Src: grid.Vec{0}, Dst: grid.Vec{0}, Deadline: grid.InfDeadline}
+			for pb.Next() {
+				i := int(seq.Add(1) - 1)
+				pkt.Seq = i
+				pkt.Src[0] = i % 40
+				pkt.Dst[0] = pkt.Src[0] + 8 + i%16
+				if _, err := eng.Admit(ctx, pkt); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+		drain(b, eng)
+	}
+	b.Run("FanIn", func(b *testing.B) { fanIn(b, 0) })
+	for _, w := range []int{2, 8} {
+		b.Run("SpecFanIn/workers="+itoa(w), func(b *testing.B) { fanIn(b, w) })
+	}
 }
 
 // BenchmarkDPWavefront measures the pipelined parallel DP kernel at a few

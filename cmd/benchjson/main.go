@@ -45,12 +45,18 @@ type Benchmark struct {
 
 // Entry is one labelled snapshot of the trajectory.
 type Entry struct {
-	Label     string      `json:"label"`
-	Go        string      `json:"go,omitempty"`
-	GOOS      string      `json:"goos,omitempty"`
-	GOARCH    string      `json:"goarch,omitempty"`
-	CPU       string      `json:"cpu,omitempty"`
-	Pkg       string      `json:"pkg,omitempty"`
+	Label  string `json:"label"`
+	Go     string `json:"go,omitempty"`
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Procs is the GOMAXPROCS the benchmarks ran at: the child's value when
+	// benchjson ran go test itself, otherwise the procs suffix recovered
+	// from the result lines. 0 (omitted) means unknown — an -input file
+	// with no suffix. Multi-core entries label the trajectory instead of
+	// silently losing the suffix to name normalization.
+	Procs     int         `json:"procs,omitempty"`
 	Count     int         `json:"count,omitempty"`
 	Benchtime string      `json:"benchtime,omitempty"`
 	Bench     []Benchmark `json:"benchmarks"`
@@ -240,6 +246,13 @@ func parseBench(out string, knownProcs int) (Entry, error) {
 		if want := fmt.Sprintf("-%d", knownProcs); suffix != want {
 			suffix = ""
 		}
+	}
+	// Label the entry with the procs value instead of discarding it with the
+	// suffix: known from the child process, else recovered from the names.
+	if knownProcs > 0 {
+		e.Procs = knownProcs
+	} else if suffix != "" {
+		e.Procs, _ = strconv.Atoi(suffix[1:])
 	}
 	byName := map[string]int{}
 	for _, l := range lines {

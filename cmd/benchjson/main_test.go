@@ -39,6 +39,9 @@ func TestParseBench(t *testing.T) {
 	if hp.Name != "BenchmarkHotPath/PackerOfferDense" {
 		t.Fatalf("procs suffix not stripped: %q", hp.Name)
 	}
+	if e.Procs != 8 {
+		t.Fatalf("procs label = %d, want 8 (recovered from the -8 suffix)", e.Procs)
+	}
 	if len(hp.Runs) != 1 || hp.Runs[0].Metrics["ns/op"] != 48.01 || hp.Runs[0].Metrics["allocs/op"] != 0 {
 		t.Fatalf("hotpath run wrong: %+v", hp.Runs)
 	}
@@ -173,6 +176,9 @@ PASS
 	if len(e.Bench) != 1 || e.Bench[0].Name != "BenchmarkHotPath/size-128" {
 		t.Fatalf("GOMAXPROCS=1 must never strip: %+v", e.Bench)
 	}
+	if e.Procs != 1 {
+		t.Fatalf("known GOMAXPROCS=1 must label procs=1, got %d", e.Procs)
+	}
 
 	const suffixed = `BenchmarkHotPath/size-128-8 	  500000	      2105 ns/op
 PASS
@@ -183,6 +189,9 @@ PASS
 	}
 	if e.Bench[0].Name != "BenchmarkHotPath/size-128" {
 		t.Fatalf("known -8 suffix must strip: %q", e.Bench[0].Name)
+	}
+	if e.Procs != 8 {
+		t.Fatalf("multi-core run must label procs=8, got %d", e.Procs)
 	}
 	// A consistent number that is not the known GOMAXPROCS is part of the
 	// name.

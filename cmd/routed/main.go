@@ -87,6 +87,15 @@ type metrics struct {
 	Retries   uint64 `json:"backpressure_retries"`
 	AvgWaitNs int64  `json:"avg_wait_ns"`
 
+	// Speculation counters (all zero when -spec-workers is 0). Speculated =
+	// SpecCommitted + SpecAborted; SpecRetried ≤ SpecAborted counts inline
+	// serial re-decisions after a conflict.
+	SpecWorkers   int    `json:"spec_workers"`
+	Speculated    uint64 `json:"speculated"`
+	SpecCommitted uint64 `json:"spec_committed"`
+	SpecAborted   uint64 `json:"spec_aborted"`
+	SpecRetried   uint64 `json:"spec_retried"`
+
 	Throughput       int     `json:"throughput"`
 	ReachedLastTile  int     `json:"reached_last_tile"`
 	MaxLoad          float64 `json:"max_load"`
@@ -127,6 +136,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	statsEvery := fs.Duration("stats", 0, "live counter interval on stderr (0 = off)")
 	jsonPath := fs.String("json", "", "write the metrics JSON to this file instead of stdout")
 	dpWorkers := fs.Int("dp-workers", runtime.NumCPU(), "wavefront workers for the admission DP (1 = serial; decisions are identical at any setting)")
+	specWorkers := fs.Int("spec-workers", 0, "speculative admission workers (0 = serial consumer loop; decisions are identical at any setting)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -159,8 +169,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Queue: *queue, ExpectPackets: len(reqs),
 		// InOrder keeps the decision sequence (and therefore every metric
 		// below) independent of producer interleaving.
-		InOrder:   true,
-		DPWorkers: *dpWorkers,
+		InOrder:     true,
+		DPWorkers:   *dpWorkers,
+		SpecWorkers: *specWorkers,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "routed:", err)
@@ -223,8 +234,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 					return
 				case <-tick.C:
 					s := eng.Stats()
-					fmt.Fprintf(stderr, "routed: t=%s submitted=%d accepted=%d rejected=%d queue=%d avg-wait=%s\n",
-						time.Since(start).Round(time.Millisecond), s.Submitted, s.Accepted, s.Rejected(), s.QueueLen, s.AvgWait)
+					spec := ""
+					if *specWorkers > 0 {
+						spec = fmt.Sprintf(" spec=%d/%d aborted=%d retried=%d",
+							s.SpecCommitted, s.Speculated, s.SpecAborted, s.SpecRetried)
+					}
+					fmt.Fprintf(stderr, "routed: t=%s submitted=%d accepted=%d rejected=%d queue=%d avg-wait=%s%s\n",
+						time.Since(start).Round(time.Millisecond), s.Submitted, s.Accepted, s.Rejected(), s.QueueLen, s.AvgWait, spec)
 				}
 			}
 		}()
@@ -288,7 +304,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		RejectedCost: s.RejectedCost, RejectedNoRoute: s.RejectedNoRoute,
 		RejectedInvalid: s.RejectedInvalid, RejectedQueueFull: s.RejectedQueueFull,
 		Retries: retries.Load(), AvgWaitNs: int64(s.AvgWait),
-		Throughput: res.Throughput, ReachedLastTile: res.ReachedLastTile,
+		SpecWorkers: *specWorkers, Speculated: s.Speculated,
+		SpecCommitted: s.SpecCommitted, SpecAborted: s.SpecAborted,
+		SpecRetried: s.SpecRetried,
+		Throughput:  res.Throughput, ReachedLastTile: res.ReachedLastTile,
 		MaxLoad: res.MaxLoad, LoadBound: res.LoadBound, PrimalValue: res.PrimalValue,
 		ReplayViolations: violations,
 		Partial:          interrupted,

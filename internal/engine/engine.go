@@ -157,6 +157,14 @@ type Options struct {
 	// (sketch.Session warm start). Warm and cold engines decide identically;
 	// the switch exists for parity tests and benchmarks.
 	NoWarmStart bool
+	// SpecWorkers enables the speculative admission pipeline (spec.go): N
+	// worker goroutines solve lightest-route queries against versioned
+	// weight snapshots while a single committer validates and commits them
+	// in order, re-deciding conflicted speculations inline. The decision
+	// log, accepted set and all downstream output are byte-identical to the
+	// serial loop at any setting. ≤ 0 keeps the serial consumer loop; 1
+	// exercises the full pipeline without parallelism.
+	SpecWorkers int
 }
 
 // DefaultQueue is the admission queue bound when Options.Queue is 0.
@@ -177,6 +185,16 @@ type Stats struct {
 	// packets (queue-full rejections excluded: they are decided at the
 	// gate, not by the loop).
 	AvgWait time.Duration
+	// Speculation counters (zero unless Options.SpecWorkers > 0).
+	// Speculated counts packets through the worker stage; every one is
+	// either committed as speculated (SpecCommitted) or aborted
+	// (SpecAborted). SpecRetried counts inline serial re-decisions after an
+	// abort (≤ SpecAborted). The abort rate is the conflict rate: raise
+	// workers while SpecAborted/Speculated stays low.
+	Speculated    uint64
+	SpecCommitted uint64
+	SpecAborted   uint64
+	SpecRetried   uint64
 }
 
 // Rejected is the total over all rejection verdicts.
@@ -231,8 +249,8 @@ type Engine struct {
 
 	pool sync.Pool
 
-	// Consumer-loop state (owned by the loop goroutine; read by Finish only
-	// after done is closed).
+	// Consumer-loop state (owned by the loop goroutine — the committer, in
+	// spec mode; read by Finish only after done is closed).
 	nextSeq   int
 	parked    map[int]*pending
 	watermark int64
@@ -242,6 +260,19 @@ type Engine struct {
 	decisions []Decision
 	arena     arena
 
+	// Speculative pipeline state (spec.go); inert when specWorkers ≤ 0.
+	// specMu orders the committer's weight mutations against worker snapshot
+	// reads: Offer commits take the write lock, SnapshotWindow the read lock.
+	specWorkers int
+	specMu      sync.RWMutex
+	specIn      chan *speculation
+	specOut     chan *speculation
+	specWg      sync.WaitGroup
+	specPool    sync.Pool
+	parkedSpecs map[int]*speculation
+	journal     specJournal
+	tileBuf     []int
+
 	submitted  atomic.Uint64
 	accepted   atomic.Uint64
 	rejCost    atomic.Uint64
@@ -250,6 +281,11 @@ type Engine struct {
 	rejQFull   atomic.Uint64
 	decided    atomic.Uint64
 	waitNs     atomic.Int64
+
+	speculated    atomic.Uint64
+	specCommitted atomic.Uint64
+	specAborted   atomic.Uint64
+	specRetried   atomic.Uint64
 
 	finishOnce sync.Once
 	result     *Result
@@ -324,7 +360,12 @@ func New(g *grid.Grid, opts Options) (*Engine, error) {
 	if opts.ExpectPackets > 0 {
 		e.admitted = make([]detroute.Admitted, 0, opts.ExpectPackets)
 	}
-	go e.loop()
+	if opts.SpecWorkers > 0 {
+		e.specWorkers = opts.SpecWorkers
+		e.startSpec(queue)
+	} else {
+		go e.loop()
+	}
 	return e, nil
 }
 
@@ -390,6 +431,10 @@ func (e *Engine) Stats() Stats {
 		RejectedInvalid:   e.rejInvalid.Load(),
 		RejectedQueueFull: e.rejQFull.Load(),
 		QueueLen:          len(e.in),
+		Speculated:        e.speculated.Load(),
+		SpecCommitted:     e.specCommitted.Load(),
+		SpecAborted:       e.specAborted.Load(),
+		SpecRetried:       e.specRetried.Load(),
 	}
 	if n := e.decided.Load(); n > 0 {
 		s.AvgWait = time.Duration(e.waitNs.Load() / int64(n))
@@ -485,7 +530,7 @@ func (e *Engine) decide(pkt *Packet) Decision {
 	}
 	d.Cost = e.scratch.Cost
 	d.Tiles = e.scratch.NumTiles()
-	if !e.pk.Offer(e.scratch.Edges, e.scratch.Cost) {
+	if !e.offerPath(e.scratch.Edges, e.scratch.Cost) {
 		d.Verdict = RejectedCost
 		return d
 	}

@@ -1,0 +1,381 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"gridroute/internal/grid"
+	"gridroute/internal/ipp"
+	"gridroute/internal/sketch"
+)
+
+// Speculative admission pipeline.
+//
+// With Options.SpecWorkers > 0 the single consumer loop is replaced by a
+// three-stage pipeline that overlaps the expensive read-only half of decide
+// — the lightest-route DP — across cores while keeping the decision log
+// byte-identical to the serial loop:
+//
+//	producers → in → dispatcher → specIn → N workers → specOut → committer
+//
+// The dispatcher stamps each envelope with a monotone ticket (the order the
+// serial loop would have dequeued it). Workers run the weight-independent
+// gates (grid feasibility, query geometry) and, for routable packets, solve
+// the lightest-route DP against a private snapshot of the packer weights
+// taken under a read lock and stamped with ipp.Version. The committer
+// restores ticket order, then commits one speculation at a time: a
+// speculation taken at version v is clean iff no edge committed at a version
+// > v lies inside the DP window it read — exactly the information
+// ipp.LastCommitted tracks, kept in a bounded ring journal. Clean
+// speculations commit as-is (the snapshot solve is bit-identical to what the
+// serial loop would have computed); conflicted ones are re-decided inline by
+// the canonical serial decide. Weight-independent verdicts (invalid,
+// geometric no-route) never conflict and always commit.
+//
+// Synchronization invariant: every mutation of the packer's weight state
+// happens in the committer under specMu's write lock (offerPath); workers
+// only read weights while holding the read lock, and poll ipp.Version
+// lock-free (it is atomic) to decide whether a previous snapshot is still
+// current. Everything else a worker touches is worker-private (its own
+// sketch.Session, snapshot buffer, scratch) or immutable engine topology.
+
+// speculation is one in-flight speculative decision. It owns no envelope
+// memory: p's lifecycle is unchanged (submit → pipeline → reply →
+// submitter pool); speculations themselves are pooled and their route/window
+// slices are reused across packets.
+type speculation struct {
+	p      *pending
+	ticket uint64 // dispatch order: the serial loop's dequeue order
+
+	// Worker results. infeasible and geomMiss are weight-independent
+	// verdicts (final regardless of packer state); ok means route holds a
+	// lightest route under the snapshot taken at snapVer over the DP window
+	// [winLo, winHi).
+	infeasible bool
+	geomMiss   bool
+	ok         bool
+	snapVer    uint64
+	route      sketch.Route
+	winLo      []int
+	winHi      []int
+}
+
+// specWorker is the per-worker private state: an independent query session
+// over the shared sketch graph and a full-universe snapshot buffer (only the
+// prepared window's rows are ever copied into it).
+type specWorker struct {
+	sess    *sketch.Session
+	xs      []float64
+	srcBuf  []int
+	snapVer uint64
+	haveVer bool
+}
+
+// commitRec is one journal entry: the edges whose weights changed in the
+// commit that produced version ver (an owned copy of ipp.LastCommitted).
+type commitRec struct {
+	ver   uint64
+	edges []ipp.EdgeID
+}
+
+// specJournal is a bounded ring of the most recent commits. Conflict
+// validation scans it newest-first; a speculation older than the ring's
+// reach is conservatively treated as conflicted (correct, just slower).
+type specJournal struct {
+	recs []commitRec
+	n    int // valid records
+	next int // ring write position
+}
+
+func (j *specJournal) init(capacity int) {
+	j.recs = make([]commitRec, capacity)
+	j.n, j.next = 0, 0
+}
+
+func (j *specJournal) add(ver uint64, edges []ipp.EdgeID) {
+	r := &j.recs[j.next]
+	r.ver = ver
+	r.edges = append(r.edges[:0], edges...)
+	j.next++
+	if j.next == len(j.recs) {
+		j.next = 0
+	}
+	if j.n < len(j.recs) {
+		j.n++
+	}
+}
+
+// startSpec launches the pipeline goroutines. Called from New instead of
+// `go e.loop()` when Options.SpecWorkers > 0.
+func (e *Engine) startSpec(queue int) {
+	e.journal.init(specJournalCap)
+	e.tileBuf = make([]int, e.d+1)
+	e.specIn = make(chan *speculation, queue)
+	e.specOut = make(chan *speculation, queue)
+	e.specPool.New = func() any { return &speculation{} }
+	if e.inOrder {
+		e.parkedSpecs = make(map[int]*speculation)
+	}
+	for i := 0; i < e.specWorkers; i++ {
+		e.specWg.Add(1)
+		go e.specWorkerLoop()
+	}
+	go e.dispatch()
+	go func() {
+		e.specWg.Wait()
+		close(e.specOut)
+	}()
+	go e.commitLoop()
+}
+
+// specJournalCap bounds the conflict journal. It only needs to cover the
+// commits that can land between a worker's snapshot and its validation —
+// roughly the pipeline depth — so this is generous; overflow degrades to
+// retries, never to wrong answers.
+const specJournalCap = 1024
+
+// dispatch assigns tickets in dequeue order and feeds the workers. It is
+// the pipeline's ordering anchor: tickets reproduce exactly the order the
+// serial loop would have processed the queue.
+func (e *Engine) dispatch() {
+	var t uint64
+	for p := range e.in {
+		sp := e.specPool.Get().(*speculation)
+		sp.p = p
+		sp.ticket = t
+		t++
+		e.specIn <- sp
+	}
+	close(e.specIn)
+}
+
+func (e *Engine) specWorkerLoop() {
+	defer e.specWg.Done()
+	w := &specWorker{
+		sess:   e.sk.NewSession(),
+		xs:     make([]float64, e.sk.Universe()),
+		srcBuf: make([]int, e.d+1),
+	}
+	for sp := range e.specIn {
+		e.speculate(w, sp)
+		e.speculated.Add(1)
+		e.specOut <- sp
+	}
+}
+
+// speculate runs the read-only half of decide against a weight snapshot.
+func (e *Engine) speculate(w *specWorker, sp *speculation) {
+	sp.infeasible, sp.geomMiss, sp.ok = false, false, false
+	pkt := &sp.p.pkt
+	r := grid.Request{ID: pkt.Seq, Src: pkt.Src, Dst: pkt.Dst, Arrival: pkt.Arrival, Deadline: pkt.Deadline}
+	if !r.Feasible(e.g) {
+		sp.infeasible = true
+		return
+	}
+	src := e.st.ToLattice(r.Src, r.Arrival, w.srcBuf)
+	wLo, wHi := e.st.DestRay(&r)
+	if e.g.B == 0 {
+		wLo, wHi = src[e.d], src[e.d]
+	}
+	if !w.sess.PrepareQuery(src, r.Dst, wLo, wHi, e.pmax) {
+		sp.geomMiss = true
+		return
+	}
+
+	// Snapshot the window's weight rows, unless the previous snapshot is
+	// provably current: same prepared window and the packer version has not
+	// moved since it was taken. In that case both the copy and the DP are
+	// skipped — the solved state is already this exact query (the
+	// speculative analogue of the warm-start delta-0 fast path, and what
+	// keeps conflict storms near serial cost: re-speculation after a retry
+	// reuses everything).
+	v := e.pk.Version()
+	skip := w.haveVer && v == w.snapVer && w.sess.PreparedUnchanged()
+	if !skip {
+		e.specMu.RLock()
+		w.sess.SnapshotWindow(e.pk.Weights(), w.xs)
+		v = e.pk.Version()
+		e.specMu.RUnlock()
+		w.snapVer, w.haveVer = v, true
+	}
+	sp.snapVer = w.snapVer
+	sp.ok = w.sess.SolveSnapshot(w.xs, skip, &sp.route)
+	lo, hi := w.sess.Window()
+	sp.winLo = append(sp.winLo[:0], lo...)
+	sp.winHi = append(sp.winHi[:0], hi...)
+}
+
+// commitLoop is the pipeline's single consumer: it restores ticket order,
+// applies InOrder seq parking exactly like the serial loop, and commits
+// speculations one at a time.
+func (e *Engine) commitLoop() {
+	defer close(e.done)
+	byTicket := make(map[uint64]*speculation)
+	var next uint64
+	for sp := range e.specOut {
+		byTicket[sp.ticket] = sp
+		for {
+			q, ok := byTicket[next]
+			if !ok {
+				break
+			}
+			delete(byTicket, next)
+			next++
+			e.commitOrdered(q)
+		}
+	}
+	e.flushParkedSpecs()
+}
+
+func (e *Engine) commitOrdered(sp *speculation) {
+	if !e.inOrder {
+		e.commitSpec(sp)
+		return
+	}
+	if sp.p.pkt.Seq != e.nextSeq {
+		e.parkedSpecs[sp.p.pkt.Seq] = sp
+		return
+	}
+	e.commitSpec(sp)
+	e.nextSeq++
+	for {
+		q, ok := e.parkedSpecs[e.nextSeq]
+		if !ok {
+			return
+		}
+		delete(e.parkedSpecs, e.nextSeq)
+		e.commitSpec(q)
+		e.nextSeq++
+	}
+}
+
+// flushParkedSpecs decides leftover parked speculations at drain time in
+// Seq order, mirroring the serial loop's flushParked.
+func (e *Engine) flushParkedSpecs() {
+	if len(e.parkedSpecs) == 0 {
+		return
+	}
+	seqs := make([]int, 0, len(e.parkedSpecs))
+	for s := range e.parkedSpecs {
+		seqs = append(seqs, s)
+	}
+	sort.Ints(seqs)
+	for _, s := range seqs {
+		sp := e.parkedSpecs[s]
+		delete(e.parkedSpecs, s)
+		e.commitSpec(sp)
+	}
+}
+
+// commitSpec validates and commits one speculation, or re-decides it inline
+// on conflict. It replicates decide's branch structure exactly, so the
+// decision (verdict, cost, tiles) is the one the serial loop would have
+// produced at this point in the sequence.
+func (e *Engine) commitSpec(sp *speculation) {
+	pkt := &sp.p.pkt
+	var d Decision
+	switch {
+	case sp.infeasible || pkt.Arrival < e.watermark:
+		// The validity gate: order-dependent (watermark) but
+		// weight-independent, so it is decided here, never speculated past.
+		d = Decision{Seq: pkt.Seq, Verdict: RejectedInvalid}
+		e.specCommitted.Add(1)
+	case sp.geomMiss:
+		// Geometric no-route: weight-independent, always commits. The nil
+		// offer only bumps the packer's rejection counter (no weight
+		// mutation), matching the serial loop's bookkeeping.
+		e.watermark = pkt.Arrival
+		e.pk.Offer(nil, 0)
+		d = Decision{Seq: pkt.Seq, Verdict: RejectedNoRoute}
+		e.specCommitted.Add(1)
+	case sp.ok && !e.specConflicts(sp):
+		// Clean speculation: no commit since snapVer touched the DP window,
+		// so the snapshot solve is bit-identical to a live solve here.
+		e.watermark = pkt.Arrival
+		d = Decision{Seq: pkt.Seq, Cost: sp.route.Cost, Tiles: sp.route.NumTiles()}
+		if e.offerPath(sp.route.Edges, sp.route.Cost) {
+			d.Verdict = Accepted
+			r := grid.Request{ID: pkt.Seq, Src: pkt.Src, Dst: pkt.Dst, Arrival: pkt.Arrival, Deadline: pkt.Deadline}
+			e.admitted = append(e.admitted, e.arena.retain(&r, &sp.route))
+		} else {
+			d.Verdict = RejectedCost
+		}
+		e.specCommitted.Add(1)
+	default:
+		// Conflicted (or, defensively, a solve that produced no route):
+		// abort the speculation and re-run the canonical serial decide.
+		e.specAborted.Add(1)
+		e.specRetried.Add(1)
+		d = e.decide(pkt)
+	}
+	d.Wait = time.Since(sp.p.enq)
+	e.count(d)
+	if e.record {
+		e.decisions = append(e.decisions, d)
+	}
+	sp.p.reply <- d
+	e.putSpec(sp)
+}
+
+// specConflicts reports whether any edge committed after sp's snapshot lies
+// inside the DP window the speculation read. Committer-only.
+func (e *Engine) specConflicts(sp *speculation) bool {
+	if sp.snapVer == e.pk.Version() {
+		return false // nothing committed since the snapshot
+	}
+	j := &e.journal
+	idx := j.next
+	for i := 0; i < j.n; i++ {
+		idx--
+		if idx < 0 {
+			idx += len(j.recs)
+		}
+		rec := &j.recs[idx]
+		if rec.ver <= sp.snapVer {
+			return false // every newer commit checked clean
+		}
+		for _, edge := range rec.edges {
+			tile, _, _ := e.sk.DecodeEdge(edge)
+			pt := e.sk.TileCoords(tile, e.tileBuf)
+			inside := true
+			for a := range pt {
+				if pt[a] < sp.winLo[a] || pt[a] >= sp.winHi[a] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				return true
+			}
+		}
+	}
+	// The journal no longer reaches snapVer (speculation outlived the ring):
+	// conservatively conflicted.
+	return true
+}
+
+// offerPath is the packer offer for paths with a real edge list. In spec
+// mode a committed offer mutates weights that workers concurrently read, so
+// it runs under the write lock and is journaled; rejections (cost ≥ 1)
+// touch only counters workers never read and stay lock-free, as does the
+// whole call in serial mode.
+func (e *Engine) offerPath(edges []ipp.EdgeID, cost float64) bool {
+	if e.specWorkers <= 0 || cost >= 1 {
+		return e.pk.Offer(edges, cost)
+	}
+	e.specMu.Lock()
+	ok := e.pk.Offer(edges, cost)
+	e.specMu.Unlock()
+	if ok {
+		e.journal.add(e.pk.Version(), e.pk.LastCommitted())
+	}
+	return ok
+}
+
+// putSpec recycles a speculation. The envelope pointer is cleared so the
+// pool never retains a reference past the reply — the ownership handoff the
+// drain-leak test pins down.
+func (e *Engine) putSpec(sp *speculation) {
+	sp.p = nil
+	e.specPool.Put(sp)
+}

@@ -1,0 +1,249 @@
+package engine_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"gridroute/internal/engine"
+	"gridroute/internal/grid"
+)
+
+// TestEngineSpecWorkersDeterminism is the -race gate of the speculative
+// pipeline: 8 producer goroutines submit a strided partition into an InOrder
+// engine at every pipeline width, and the decision log must be identical to
+// the serial-loop single-producer baseline — packet by packet, verdict by
+// verdict, cost by cost. SpecWorkers=1 exercises the full
+// dispatch/speculate/validate/commit machinery without parallelism;
+// 2 and 8 add real worker races over the shared weight state.
+func TestEngineSpecWorkersDeterminism(t *testing.T) {
+	g, reqs, opts := workload(t, 48, 200, 96, 7)
+	opts.InOrder = true
+	opts.RecordDecisions = true
+
+	_, seqRes := stream(t, g, reqs, opts)
+	want := stripWait(seqRes.Decisions)
+	if len(want) != len(reqs) {
+		t.Fatalf("baseline recorded %d decisions for %d packets", len(want), len(reqs))
+	}
+
+	const producers = 8
+	for _, workers := range []int{1, 2, 8} {
+		sopts := opts
+		sopts.SpecWorkers = workers
+		eng, err := engine.New(g, sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := p; i < len(reqs); i += producers {
+					if _, err := eng.Admit(ctx, engine.PacketOf(&reqs[i])); err != nil {
+						t.Errorf("producer %d admit %d: %v", p, i, err)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		if err := eng.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, stripWait(res.Decisions)) {
+			t.Fatalf("SpecWorkers=%d: decision log diverges from serial baseline", workers)
+		}
+		if res.Throughput != seqRes.Throughput || res.MaxLoad != seqRes.MaxLoad ||
+			res.PrimalValue != seqRes.PrimalValue || len(res.Admitted) != len(seqRes.Admitted) {
+			t.Fatalf("SpecWorkers=%d: result diverges (throughput %d vs %d)", workers, res.Throughput, seqRes.Throughput)
+		}
+		s := res.Stats
+		if s.Speculated != s.SpecCommitted+s.SpecAborted {
+			t.Fatalf("SpecWorkers=%d: speculation accounting leak: %d speculated != %d committed + %d aborted",
+				workers, s.Speculated, s.SpecCommitted, s.SpecAborted)
+		}
+		if s.SpecRetried > s.SpecAborted {
+			t.Fatalf("SpecWorkers=%d: retried %d > aborted %d", workers, s.SpecRetried, s.SpecAborted)
+		}
+		if s.Speculated != uint64(len(reqs)) {
+			t.Fatalf("SpecWorkers=%d: %d speculated for %d packets", workers, s.Speculated, len(reqs))
+		}
+	}
+}
+
+// TestEngineSpecConflictStorm is the adversarial case: every speculation
+// except the first is taken against a snapshot the committer then dirties,
+// so all of them must abort, be retried inline exactly once, and still
+// produce the serial decision log. N identical packets share one DP window;
+// seqs 1..N−1 are submitted first into an InOrder engine, parked until seq 0
+// arrives, and speculated while the packer is still at version 0. Seq 0's
+// accept then invalidates every one of them.
+func TestEngineSpecConflictStorm(t *testing.T) {
+	g := grid.Line(32, 3, 3)
+	const n = 24
+	mk := func(seq int) engine.Packet {
+		return engine.Packet{Seq: seq, Src: grid.Vec{4}, Dst: grid.Vec{20}, Arrival: 0, Deadline: grid.InfDeadline}
+	}
+	opts := engine.Options{
+		Horizon: 64, PMax: 40, Queue: 2 * n,
+		InOrder: true, RecordDecisions: true,
+	}
+
+	// Serial baseline.
+	serial, err := engine.New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		if _, err := serial.Admit(ctx, mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := serial.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	serialRes, err := serial.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sopts := opts
+	sopts.SpecWorkers = 4
+	eng, err := engine.New(g, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := eng.Admit(ctx, mk(i)); err != nil {
+				t.Errorf("admit %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Wait until every gap packet has been speculated (at packer version 0:
+	// nothing can commit while seq 0 is missing) before releasing seq 0.
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Stats().Speculated < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d speculations completed", eng.Stats().Speculated, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := eng.Admit(ctx, mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(stripWait(serialRes.Decisions), stripWait(res.Decisions)) {
+		t.Fatal("conflict-storm decision log diverges from serial baseline")
+	}
+	s := res.Stats
+	if s.Speculated != n {
+		t.Fatalf("%d speculated for %d packets", s.Speculated, n)
+	}
+	// Seq 0 committed an accept at version 1; every parked speculation was
+	// taken at version 0 over the same window, so all n−1 must abort and be
+	// retried exactly once — bounded retries, not livelock.
+	if s.SpecAborted != n-1 || s.SpecRetried != n-1 {
+		t.Fatalf("expected exactly %d aborts and retries, got aborted=%d retried=%d", n-1, s.SpecAborted, s.SpecRetried)
+	}
+	if s.SpecCommitted != 1 {
+		t.Fatalf("expected exactly 1 clean commit (seq 0), got %d", s.SpecCommitted)
+	}
+	if res.Stats.Accepted == 0 {
+		t.Fatal("storm admitted nothing; the conflict path was not exercised")
+	}
+}
+
+// TestEngineSpecDrainLeak races Drain against producers mid-flight, at every
+// consumer topology, and checks the envelope ownership handoff never leaks:
+// every Admit call returns (a decision, queue-full, or ErrClosed — never a
+// hang), every submitted envelope is decided exactly once, and the engine
+// still finishes cleanly.
+func TestEngineSpecDrainLeak(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		g, reqs, opts := workload(t, 48, 600, 128, 21)
+		opts.Queue = 8
+		opts.SpecWorkers = workers
+
+		eng, err := engine.New(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		const producers = 8
+		var closed sync.WaitGroup
+		var submitted, refused uint64
+		var mu sync.Mutex
+		for p := 0; p < producers; p++ {
+			closed.Add(1)
+			go func(p int) {
+				defer closed.Done()
+				var sub, ref uint64
+				for i := p; i < len(reqs); i += producers {
+					_, err := eng.Admit(ctx, engine.PacketOf(&reqs[i]))
+					if err == engine.ErrClosed {
+						ref++
+						continue
+					}
+					if err != nil {
+						t.Errorf("admit: %v", err)
+						return
+					}
+					sub++
+				}
+				mu.Lock()
+				submitted += sub
+				refused += ref
+				mu.Unlock()
+			}(p)
+		}
+		// Drain while producers are still submitting.
+		time.Sleep(2 * time.Millisecond)
+		if err := eng.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		closed.Wait()
+		if _, err := eng.Admit(ctx, engine.PacketOf(&reqs[0])); err != engine.ErrClosed {
+			t.Fatalf("SpecWorkers=%d: Admit after Drain: %v", workers, err)
+		}
+		res, err := eng.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Stats
+		if s.Submitted != submitted {
+			t.Fatalf("SpecWorkers=%d: engine counted %d submissions, producers made %d", workers, s.Submitted, submitted)
+		}
+		if s.Decided()+s.RejectedQueueFull != s.Submitted {
+			t.Fatalf("SpecWorkers=%d: envelope leak: decided %d + bounced %d != submitted %d",
+				workers, s.Decided(), s.RejectedQueueFull, s.Submitted)
+		}
+		if submitted+refused != uint64(len(reqs)) {
+			t.Fatalf("SpecWorkers=%d: producers lost calls: %d + %d != %d", workers, submitted, refused, len(reqs))
+		}
+		if workers > 0 && s.Speculated != s.SpecCommitted+s.SpecAborted {
+			t.Fatalf("SpecWorkers=%d: speculation accounting leak: %+v", workers, s)
+		}
+	}
+}

@@ -30,6 +30,7 @@ package ipp
 
 import (
 	"math"
+	"sync/atomic"
 )
 
 // EdgeID identifies an edge in the caller's graph. Callers choose their own
@@ -76,8 +77,10 @@ type Packer struct {
 	// the edge ids whose weights changed in the most recent commit (reused
 	// buffer). Incremental consumers — the streaming engine's metrics, and
 	// warm-start DP re-relaxation — key off these instead of rescanning the
-	// weight universe.
-	version uint64
+	// weight universe. version is atomic so speculative readers can stamp a
+	// weight snapshot without holding the committer's lock; every mutation
+	// of the weight state itself still requires external synchronization.
+	version atomic.Uint64
 	last    []EdgeID
 }
 
@@ -185,7 +188,7 @@ func (p *Packer) Offer(path []EdgeID, cost float64) bool {
 }
 
 func (p *Packer) commitDense(path []EdgeID) {
-	p.version++
+	p.version.Add(1)
 	p.last = p.last[:0]
 	for _, e := range path {
 		ce := p.cap(e)
@@ -208,7 +211,7 @@ func (p *Packer) commitDense(path []EdgeID) {
 }
 
 func (p *Packer) commitSparse(path []EdgeID) {
-	p.version++
+	p.version.Add(1)
 	p.last = p.last[:0]
 	for _, e := range path {
 		ce := p.cap(e)
@@ -233,7 +236,9 @@ func (p *Packer) commitSparse(path []EdgeID) {
 // exactly one per accepted Offer, so a consumer holding weights derived from
 // version v knows the weight state is unchanged while Version() == v — the
 // contract incremental oracles (warm-start DP, streaming metrics) build on.
-func (p *Packer) Version() uint64 { return p.version }
+// The load is atomic: speculative admission workers poll it lock-free to
+// decide whether their weight snapshot is still current.
+func (p *Packer) Version() uint64 { return p.version.Load() }
 
 // LastCommitted returns the edge ids whose weights changed in the most
 // recent committed offer (the path minus its uncapacitated edges). The slice

@@ -95,7 +95,20 @@ type Session struct {
 	winLo   []int
 	winHi   []int
 	probe   []int
+	snapCur []int        // SnapshotWindow row odometer
 	path    lattice.Path // reused by LightestRouteInto
+
+	// Prepared-query geometry (PrepareQuery): the destination ray on the w
+	// axis, inclusive, in tile coordinates.
+	rayLo, rayHi int
+
+	// Snapshot-solve cache (SolveSnapshot): the window/source of the last
+	// snapshot relaxation. When the prepared query matches and the caller
+	// asserts the snapshot weights are unchanged, the DP is skipped.
+	specWinLo []int
+	specWinHi []int
+	specSrc   []int
+	specValid bool
 
 	// Warm-start cache (dense packers only): the DP solution of the last
 	// query stays valid while the packer's version is unchanged, and repairs
@@ -123,11 +136,16 @@ func (g *Graph) NewSession() *Session {
 		winLo:   make([]int, g.axes),
 		winHi:   make([]int, g.axes),
 		probe:   make([]int, g.axes),
+		snapCur: make([]int, g.axes),
 
 		warm:      true,
 		lastWinLo: make([]int, g.axes),
 		lastWinHi: make([]int, g.axes),
 		lastSrc:   make([]int, g.axes),
+
+		specWinLo: make([]int, g.axes),
+		specWinHi: make([]int, g.axes),
+		specSrc:   make([]int, g.axes),
 	}
 }
 
@@ -290,12 +308,16 @@ func (s *Session) LightestRoute(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wL
 	return r
 }
 
-// LightestRouteInto is LightestRoute writing into a caller-provided Route,
-// reusing its slices. It reports false (leaving out unspecified) when no
-// legal route exists. A warm (Session, Route) pair queries without
-// allocating — the property the streaming engine's 0-alloc admit gate rests
-// on.
-func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int, out *Route) bool {
+// PrepareQuery computes the weight-independent geometry of a lightest-route
+// query: source/destination tiles, the destination ray on the w axis, and
+// the DP window, all stored in the session. It reports false when no legal
+// route can exist for purely geometric reasons (destination behind source,
+// empty w ray, tile budget exceeded) — exactly the weight-independent
+// no-route cases of LightestRouteInto, so a false here is a final verdict
+// regardless of packer state. After a true return the caller solves the
+// prepared window with LightestRouteInto (canonical weights) or
+// SnapshotWindow/SolveSnapshot (speculative weights).
+func (s *Session) PrepareQuery(srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int) bool {
 	g := s.g
 	d := g.ST.G.D()
 	wa := d // the w axis index
@@ -334,6 +356,7 @@ func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec
 	if dwHi < dwLo {
 		return false
 	}
+	s.rayLo, s.rayHi = dwLo, dwHi
 
 	// DP window: [srcTile .. dstTile] per space axis, [srcW .. dwHi] on w.
 	for i := 0; i < d; i++ {
@@ -342,7 +365,47 @@ func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec
 	}
 	s.winLo[wa] = s.srcTile[wa]
 	s.winHi[wa] = dwHi + 1
+	return true
+}
 
+// extractRoute minimizes the solved DP over the prepared destination ray and
+// materializes the winning path into out. False means every ray tile is
+// unreachable under the solved weights.
+func (s *Session) extractRoute(out *Route) bool {
+	wa := s.g.ST.G.D()
+	best := math.Inf(1)
+	bestW := 0
+	probe := s.probe
+	copy(probe, s.dstTile)
+	for w := s.rayLo; w <= s.rayHi; w++ {
+		probe[wa] = w
+		if c := s.dp.CostAt(probe); c < best {
+			best = c
+			bestW = w
+		}
+	}
+	if math.IsInf(best, 1) {
+		return false
+	}
+	probe[wa] = bestW
+	if !s.dp.PathInto(probe, &s.path) {
+		return false
+	}
+	s.routeInto(&s.path, best, out)
+	return true
+}
+
+// LightestRouteInto is LightestRoute writing into a caller-provided Route,
+// reusing its slices. It reports false (leaving out unspecified) when no
+// legal route exists. A warm (Session, Route) pair queries without
+// allocating — the property the streaming engine's 0-alloc admit gate rests
+// on.
+func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int, out *Route) bool {
+	if !s.PrepareQuery(srcPoint, dst, wLo, wHi, maxTiles) {
+		return false
+	}
+	g := s.g
+	s.specValid = false // the DP state below reflects live, not snapshot, weights
 	if xs := pk.Weights(); xs != nil {
 		// Dense packer: AxisEdgeID(id, a) = id·axes+a matches RunFlat's edge
 		// layout, and the interior-edge weights form the contiguous tail of
@@ -369,28 +432,81 @@ func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec
 		s.dp.Run(s.winLo, s.winHi, s.srcTile, edgeW, nodeW)
 		s.lastValid = false // closure runs leave no flat state to warm-start
 	}
+	return s.extractRoute(out)
+}
 
-	// Minimize over the destination ray.
-	best := math.Inf(1)
-	bestW := 0
-	probe := s.probe
-	copy(probe, s.dstTile)
-	for w := dwLo; w <= dwHi; w++ {
-		probe[wa] = w
-		if c := s.dp.CostAt(probe); c < best {
-			best = c
-			bestW = w
+// Window exposes the DP window prepared by the last PrepareQuery as views
+// into session scratch: valid until the next PrepareQuery, must not be
+// mutated. Speculation validation uses it to test committed edges for
+// overlap with the window a snapshot solve read.
+func (s *Session) Window() (lo, hi []int) { return s.winLo, s.winHi }
+
+// SnapshotWindow copies the weight rows covered by the prepared window from
+// the dense packer weight slice `from` into the caller's snapshot buffer
+// `into` (both laid out over the full edge universe, Universe() long). Only
+// the window's rows are touched, so a snapshot costs O(window), not
+// O(universe). The axis-edge weights of a contiguous last-axis run of tiles
+// are themselves contiguous (AxisEdgeID stride), as are the interior-edge
+// weights in Downscaled mode, so each row is two copy calls.
+func (s *Session) SnapshotWindow(from, into []float64) {
+	g := s.g
+	tb := g.Tl.TBox
+	axes := g.axes
+	last := axes - 1
+	n := s.winHi[last] - s.winLo[last]
+	base := tb.Size() * axes
+	cur := s.snapCur
+	copy(cur, s.winLo)
+	for {
+		start := tb.Index(cur)
+		copy(into[start*axes:(start+n)*axes], from[start*axes:(start+n)*axes])
+		if g.Mode == Downscaled {
+			copy(into[base+start:base+start+n], from[base+start:base+start+n])
+		}
+		a := last - 1
+		for ; a >= 0; a-- {
+			cur[a]++
+			if cur[a] < s.winHi[a] {
+				break
+			}
+			cur[a] = s.winLo[a]
+		}
+		if a < 0 {
+			break
 		}
 	}
-	if math.IsInf(best, 1) {
-		return false
+}
+
+// PreparedUnchanged reports whether the window and source prepared by the
+// last PrepareQuery match the session's last snapshot solve. Together with
+// an unchanged packer version this lets a speculation worker skip both the
+// weight copy and the DP and go straight to route extraction.
+func (s *Session) PreparedUnchanged() bool {
+	return s.specValid && equalInts(s.specWinLo, s.winLo) &&
+		equalInts(s.specWinHi, s.winHi) && equalInts(s.specSrc, s.srcTile)
+}
+
+// SolveSnapshot runs the lightest-route DP for the prepared query over a
+// snapshot weight slice (laid out like the packer's dense weights) and
+// extracts the route into out. When skipDP is true the caller asserts the
+// DP state already holds this exact solve (PreparedUnchanged and an
+// unchanged snapshot) and only extraction runs. The session's packer-keyed
+// warm cache is invalidated: the DP state now reflects snapshot, not live,
+// weights.
+func (s *Session) SolveSnapshot(xs []float64, skipDP bool, out *Route) bool {
+	if !skipDP || !s.PreparedUnchanged() {
+		var nodeX []float64
+		if s.g.Mode == Downscaled {
+			nodeX = xs[s.g.Tl.TBox.Size()*s.g.axes:]
+		}
+		s.dp.RunFlat(s.winLo, s.winHi, s.srcTile, xs, nodeX)
+		copy(s.specWinLo, s.winLo)
+		copy(s.specWinHi, s.winHi)
+		copy(s.specSrc, s.srcTile)
+		s.specValid = true
 	}
-	probe[wa] = bestW
-	if !s.dp.PathInto(probe, &s.path) {
-		return false
-	}
-	s.routeInto(&s.path, best, out)
-	return true
+	s.lastValid = false
+	return s.extractRoute(out)
 }
 
 // routeInto materializes a DP path as a sketch Route, reusing out's slices.
