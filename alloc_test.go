@@ -176,6 +176,43 @@ func TestEngineAdmitWarmStartAllocFree(t *testing.T) {
 	}
 }
 
+// TestEngineAdmitCancelNoLeak: the leak audit for abandoned waits. An Admit
+// whose context is already cancelled may abandon the reply; the consumer then
+// reclaims the pooled envelope itself. If that handoff leaked, every
+// cancelled Admit would allocate a fresh envelope (struct + reply channel) —
+// so a warm cancel/admit mix must stay 0-alloc, like the plain warm path.
+func TestEngineAdmitCancelNoLeak(t *testing.T) {
+	skipIfRace(t)
+	eng, pkt := saturateEngine(t, engine.Options{})
+	ctx := context.Background()
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	allocs := testing.AllocsPerRun(200, func() {
+		// Abandoned wait: the packet is queued, the wait is not. The consumer
+		// decides it and recycles the envelope.
+		if _, err := eng.Admit(dead, pkt); err == nil {
+			// The reply can still win the race against the cancelled context;
+			// both exits recycle exactly one envelope.
+			_ = err
+		}
+		// A live Admit right after must find a pooled envelope again.
+		dec, err := eng.Admit(ctx, pkt)
+		if err != nil || dec.Verdict != engine.RejectedCost {
+			t.Fatalf("steady state broken: %+v, %v", dec, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cancelled Admit path allocates %v/run, want 0 (envelope leak)", allocs)
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Decided() != s.Submitted {
+		t.Fatalf("abandoned packets unaccounted: decided %d != submitted %d", s.Decided(), s.Submitted)
+	}
+}
+
 // TestDPRerunFlatWarmAllocFree: incremental re-relaxation — heap, epoch
 // marks and frontier all live in the DP — must not allocate once warm.
 func TestDPRerunFlatWarmAllocFree(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 
@@ -213,6 +214,35 @@ func BenchmarkEngineAdmit(b *testing.B) {
 	b.Run("Mixed", func(b *testing.B) {
 		b.ReportAllocs()
 		eng := newEngine(b, false)
+		ctx := context.Background()
+		pkt := engine.Packet{Src: grid.Vec{0}, Dst: grid.Vec{0}, Deadline: grid.InfDeadline}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pkt.Seq = i
+			pkt.Src[0] = i % 40
+			pkt.Dst[0] = pkt.Src[0] + 8 + i%16
+			if _, err := eng.Admit(ctx, pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+		drain(b, eng)
+	})
+	// WAL is Mixed with the write-ahead decision log on (fsync batched at the
+	// default cadence): the fault-tolerance tax on streaming throughput. New
+	// sub-benchmarks are absent from bench/baseline.txt, so the perf gate
+	// skips this entry (disk-speed dependent); benchjson still records it as
+	// a labelled trajectory point.
+	b.Run("WAL", func(b *testing.B) {
+		b.ReportAllocs()
+		g := grid.Line(64, 3, 3)
+		eng, err := engine.New(g, engine.Options{
+			Horizon: 256, PMax: core.PMaxDet(g), ExpectPackets: 4096,
+			WALPath: filepath.Join(b.TempDir(), "bench.wal"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		ctx := context.Background()
 		pkt := engine.Packet{Src: grid.Vec{0}, Dst: grid.Vec{0}, Deadline: grid.InfDeadline}
 		b.ResetTimer()

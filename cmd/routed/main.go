@@ -13,11 +13,22 @@
 // netsim's incremental replayer — the same admit-order the engine saw — and
 // the violation count is part of the metrics (a correct run reports 0).
 //
+// Fault tolerance: -wal journals every decision to a checksummed write-ahead
+// log and, when the log already exists, recovers from it first — replaying
+// the logged prefix to rebuild engine state and resuming the stream at the
+// first undecided packet, so a kill -9 mid-stream costs nothing but a
+// restart. -faults/-fault-seed wire a deterministic chaos schedule (producer
+// stalls and panics, queue-full storms, consumer pauses, mid-Admit
+// cancellations, space-time resource outages) into the run, and -shed-*
+// enable graceful overload degradation.
+//
 // Usage examples:
 //
 //	go run ./cmd/routed -scenario uniform -stats 1s
 //	go run ./cmd/routed -scenario zipf-hotspot -p reqs=5000 -producers 4 -json metrics.json
 //	go run ./cmd/routed -scenario convoy -queue 64 -throttle 2ms
+//	go run ./cmd/routed -scenario uniform -wal run.wal -declog run.declog
+//	go run ./cmd/routed -scenario uniform -faults 'storm(seq=100,n=40,count=2);pause(seq=200,n=4,dur=1ms)'
 package main
 
 import (
@@ -26,11 +37,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/signal"
 	"runtime"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -38,28 +49,12 @@ import (
 
 	"gridroute/internal/core"
 	"gridroute/internal/engine"
+	"gridroute/internal/fault"
+	"gridroute/internal/grid"
 	"gridroute/internal/netsim"
 	"gridroute/internal/scenario"
 	"gridroute/internal/spacetime"
 )
-
-// paramFlags collects repeated -p key=val overrides.
-type paramFlags map[string]float64
-
-func (p paramFlags) String() string { return "" }
-
-func (p paramFlags) Set(s string) error {
-	key, val, ok := strings.Cut(s, "=")
-	if !ok || key == "" {
-		return fmt.Errorf("want key=val, got %q", s)
-	}
-	v, err := strconv.ParseFloat(val, 64)
-	if err != nil {
-		return fmt.Errorf("parameter %s: %v", key, err)
-	}
-	p[key] = v
-	return nil
-}
 
 // metrics is the service's JSON output: the engine's final counters plus the
 // routing result and its incremental replay verdict. Partial marks an
@@ -82,6 +77,10 @@ type metrics struct {
 	RejectedNoRoute   uint64 `json:"rejected_no_route"`
 	RejectedInvalid   uint64 `json:"rejected_invalid"`
 	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	// Shed counts packets dropped by the overload policy; Recovered counts
+	// decisions replayed from the WAL instead of re-decided.
+	Shed      uint64 `json:"shed"`
+	Recovered uint64 `json:"recovered"`
 	// Retries counts producer re-submissions after queue-full rejections;
 	// each retry is also one Submitted.
 	Retries   uint64 `json:"backpressure_retries"`
@@ -127,7 +126,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("routed", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	sc := fs.String("scenario", "uniform", "workload scenario ID feeding the engine")
-	params := paramFlags{}
+	params := scenario.ParamFlags{}
 	fs.Var(params, "p", "scenario parameter override key=val (repeatable)")
 	seed := fs.Int64("seed", 0, "scenario seed (0 = scenario default stream)")
 	producers := fs.Int("producers", 1, "concurrent producer goroutines feeding the engine")
@@ -137,6 +136,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	jsonPath := fs.String("json", "", "write the metrics JSON to this file instead of stdout")
 	dpWorkers := fs.Int("dp-workers", runtime.NumCPU(), "wavefront workers for the admission DP (1 = serial; decisions are identical at any setting)")
 	specWorkers := fs.Int("spec-workers", 0, "speculative admission workers (0 = serial consumer loop; decisions are identical at any setting)")
+	walPath := fs.String("wal", "", "write-ahead decision log path; an existing non-empty log is recovered first")
+	walSync := fs.Int("wal-sync", 0, "WAL fsync batch size in decisions (0 = default)")
+	declogPath := fs.String("declog", "", "write the final decision log (seq verdict cost tiles per line) to this file")
+	faults := fs.String("faults", "", "deterministic fault schedule, e.g. 'stall(seq=10,n=4,dur=1ms);storm(seq=50,n=20,count=2)'")
+	faultSeed := fs.Int64("fault-seed", 0, "generate a random deterministic fault schedule from this seed (exclusive with -faults)")
+	gapTimeout := fs.Duration("gap-timeout", 0, "InOrder gap watchdog: skip a missing seq after this long (0 = wait for drain)")
+	shedHigh := fs.Float64("shed-high", 0, "enable overload shedding at this queue-occupancy fraction (0 = shedding off)")
+	shedSlack := fs.Int64("shed-slack", 0, "with shedding on, shed packets under pressure whose deadline slack is below this")
+	shedFloor := fs.Float64("shed-floor", 0, "with shedding on, lowest adaptive admission threshold (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -153,6 +161,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			params["seed"] = float64(*seed)
 		}
 	}
+	if *faults != "" && *faultSeed != 0 {
+		fmt.Fprintln(stderr, "routed: -faults and -fault-seed are exclusive")
+		return 2
+	}
 
 	stream, err := scenario.NewStream(*sc, params)
 	if err != nil {
@@ -164,18 +176,66 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	g, reqs := stream.Grid(), stream.Requests()
 	horizon := spacetime.SuggestHorizon(g, reqs, 3)
 	pmax := core.PMaxDet(g)
-	eng, err := engine.New(g, engine.Options{
+
+	var inj *fault.Injector
+	if *faults != "" || *faultSeed != 0 {
+		sched := fault.Rand(*faultSeed, len(reqs), horizon, g.Dims)
+		if *faults != "" {
+			sched, err = fault.Parse(*faults)
+			if err != nil {
+				fmt.Fprintln(stderr, "routed:", err)
+				return 2
+			}
+		}
+		inj = fault.NewInjector(sched)
+		fmt.Fprintf(stderr, "routed: fault schedule: %s\n", sched)
+	}
+	var shed *engine.ShedPolicy
+	if *shedHigh > 0 || *shedSlack > 0 || *shedFloor > 0 {
+		shed = &engine.ShedPolicy{HighWater: *shedHigh, MinSlack: *shedSlack, Floor: *shedFloor}
+	}
+
+	opts := engine.Options{
 		Horizon: horizon, PMax: pmax,
 		Queue: *queue, ExpectPackets: len(reqs),
 		// InOrder keeps the decision sequence (and therefore every metric
 		// below) independent of producer interleaving.
-		InOrder:     true,
-		DPWorkers:   *dpWorkers,
-		SpecWorkers: *specWorkers,
-	})
-	if err != nil {
-		fmt.Fprintln(stderr, "routed:", err)
-		return 1
+		InOrder:         true,
+		DPWorkers:       *dpWorkers,
+		SpecWorkers:     *specWorkers,
+		RecordDecisions: *declogPath != "",
+		GapTimeout:      *gapTimeout,
+		Injector:        inj,
+		Shed:            shed,
+		WALPath:         *walPath,
+		WALSyncEvery:    *walSync,
+	}
+
+	// With a WAL configured, an existing non-empty log means a previous run
+	// died mid-stream: recover from it instead of starting over. The replay
+	// rebuilds engine state decision by decision; producers then resume at
+	// the first sequence number the log does not cover.
+	var eng *engine.Engine
+	startSeq := 0
+	if *walPath != "" {
+		if fi, serr := os.Stat(*walPath); serr == nil && fi.Size() > 0 {
+			var rec engine.Recovery
+			eng, rec, err = engine.Recover(g, opts)
+			if err != nil {
+				fmt.Fprintln(stderr, "routed: recover:", err)
+				return 1
+			}
+			startSeq = rec.NextSeq
+			fmt.Fprintf(stderr, "routed: recovered %d decisions from %s (%d torn bytes dropped), resuming at seq %d\n",
+				rec.Decisions, *walPath, rec.Truncated, startSeq)
+		}
+	}
+	if eng == nil {
+		eng, err = engine.New(g, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "routed:", err)
+			return 1
+		}
 	}
 	_, _, k := eng.Params()
 	fmt.Fprintf(stderr, "routed: %s — %d requests, grid %v B=%d c=%d, horizon %d, pmax %d, k %d, queue %d, %d producer(s)\n",
@@ -188,27 +248,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			// Producer-local jitter source: backoff spreading only — routing
+			// decisions never see it.
+			jit := rand.New(rand.NewSource(int64(p) + 1))
 			// Strided partition: producer p owns seqs p, p+P, p+2P, …,
 			// submitted in increasing order, so the engine's in-order
 			// consumer always has a live owner for the next seq.
 			for i := p; i < len(reqs); i += *producers {
-				pkt := engine.PacketOf(&reqs[i])
-				for {
-					dec, err := eng.Admit(ctx, pkt)
-					if err != nil {
-						return // interrupted or closed: stop feeding
-					}
-					if dec.Verdict != engine.RejectedQueueFull {
-						break
-					}
-					// Backpressure: the bounded queue bounced the packet;
-					// retry after a short pause, like a paced ingress port.
-					retries.Add(1)
-					select {
-					case <-ctx.Done():
-						return
-					case <-time.After(200 * time.Microsecond):
-					}
+				if i < startSeq {
+					continue // already decided by the recovered WAL prefix
+				}
+				if !produceOne(ctx, eng, inj, &reqs[i], jit, &retries, stderr) {
+					return // interrupted or closed: stop feeding
 				}
 				if *throttle > 0 {
 					select {
@@ -234,13 +285,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 					return
 				case <-tick.C:
 					s := eng.Stats()
-					spec := ""
+					extra := ""
 					if *specWorkers > 0 {
-						spec = fmt.Sprintf(" spec=%d/%d aborted=%d retried=%d",
+						extra += fmt.Sprintf(" spec=%d/%d aborted=%d retried=%d",
 							s.SpecCommitted, s.Speculated, s.SpecAborted, s.SpecRetried)
 					}
-					fmt.Fprintf(stderr, "routed: t=%s submitted=%d accepted=%d rejected=%d queue=%d avg-wait=%s%s\n",
-						time.Since(start).Round(time.Millisecond), s.Submitted, s.Accepted, s.Rejected(), s.QueueLen, s.AvgWait, spec)
+					if shed != nil || s.Shed > 0 {
+						extra += fmt.Sprintf(" shed=%d", s.Shed)
+					}
+					if s.Recovered > 0 {
+						extra += fmt.Sprintf(" recovered=%d", s.Recovered)
+					}
+					fmt.Fprintf(stderr, "routed: t=%s submitted=%d accepted=%d rejected=%d retried=%d queue=%d avg-wait=%s%s\n",
+						time.Since(start).Round(time.Millisecond), s.Submitted, s.Accepted, s.Rejected(), retries.Load(), s.QueueLen, s.AvgWait, extra)
 				}
 			}
 		}()
@@ -264,10 +321,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "routed: drain:", err)
 		return 1
 	}
+	if err := eng.Err(); err != nil {
+		// Degraded but not dead (gap skips, WAL write failures): surface it,
+		// keep the run's output.
+		fmt.Fprintln(stderr, "routed: degraded:", err)
+	}
 	res, err := eng.Finish()
 	if err != nil {
 		fmt.Fprintln(stderr, "routed:", err)
 		return 1
+	}
+
+	if *declogPath != "" {
+		if err := writeDecisionLog(*declogPath, res.Decisions); err != nil {
+			fmt.Fprintln(stderr, "routed:", err)
+			return 1
+		}
 	}
 
 	// Re-verify the delivered schedules packet by packet, in admission
@@ -303,6 +372,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Submitted: s.Submitted, Accepted: s.Accepted,
 		RejectedCost: s.RejectedCost, RejectedNoRoute: s.RejectedNoRoute,
 		RejectedInvalid: s.RejectedInvalid, RejectedQueueFull: s.RejectedQueueFull,
+		Shed: s.Shed, Recovered: s.Recovered,
 		Retries: retries.Load(), AvgWaitNs: int64(s.AvgWait),
 		SpecWorkers: *specWorkers, Speculated: s.Speculated,
 		SpecCommitted: s.SpecCommitted, SpecAborted: s.SpecAborted,
@@ -336,4 +406,90 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 130
 	}
 	return 0
+}
+
+// produceOne submits one request, honoring the fault schedule and retrying
+// queue-full rejections with bounded jittered exponential backoff. It
+// reports false when the producer should stop (interrupt or engine closed).
+// An injected producer panic is recovered here — the packet is dropped
+// (creating an InOrder gap for the watchdog or drain flush to resolve) and
+// the producer keeps going, like a respawned ingress worker.
+func produceOne(ctx context.Context, eng *engine.Engine, inj *fault.Injector, r *grid.Request, jit *rand.Rand, retries *atomic.Uint64, stderr io.Writer) (alive bool) {
+	seq := r.ID
+	defer func() {
+		if rec := recover(); rec != nil {
+			fmt.Fprintf(stderr, "routed: producer recovered from panic: %v (seq %d dropped)\n", rec, seq)
+			alive = true
+		}
+	}()
+	if d := inj.StallBefore(seq); d > 0 {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(d): // injected producer stall
+		}
+	}
+	if inj.PanicAt(seq) {
+		panic("fault: injected producer panic")
+	}
+	pkt := engine.PacketOf(r)
+	injCancel := inj.CancelFirst(seq)
+	const backoffBase, backoffCap = 100 * time.Microsecond, 5 * time.Millisecond
+	backoff := backoffBase
+	for attempt := 0; ; attempt++ {
+		actx := ctx
+		if injCancel && attempt == 0 {
+			// Injected mid-Admit cancellation: submit with an
+			// already-cancelled context. If the packet made it into the
+			// queue the consumer still decides it (the wait is abandoned,
+			// the envelope reclaimed by the loop) — the decision log is
+			// unchanged; only this producer's view of the verdict is lost.
+			cctx, cancel := context.WithCancel(ctx)
+			cancel()
+			actx = cctx
+		}
+		dec, err := eng.Admit(actx, pkt)
+		if err != nil {
+			if injCancel && attempt == 0 && ctx.Err() == nil {
+				return true // injected cancel; the loop owns the decision now
+			}
+			return false // interrupted or closed
+		}
+		if dec.Verdict != engine.RejectedQueueFull {
+			return true
+		}
+		// Backpressure: the bounded queue bounced the packet. Retry after a
+		// bounded, jittered, exponentially growing pause so P producers
+		// don't re-slam the queue in lockstep.
+		retries.Add(1)
+		pause := backoff/2 + time.Duration(jit.Int63n(int64(backoff)))
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(pause):
+		}
+		if backoff < backoffCap {
+			backoff *= 2
+		}
+	}
+}
+
+// writeDecisionLog renders the decision log one line per decision:
+// "seq verdict cost tiles", with the cost in shortest round-trip form. Two
+// runs with identical decisions produce byte-identical files — the format
+// the crash-recovery CI gate diffs.
+func writeDecisionLog(path string, decs []engine.Decision) error {
+	buf := make([]byte, 0, 32*len(decs))
+	for i := range decs {
+		d := &decs[i]
+		buf = strconv.AppendInt(buf, int64(d.Seq), 10)
+		buf = append(buf, ' ')
+		buf = append(buf, d.Verdict.String()...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendFloat(buf, d.Cost, 'g', -1, 64)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(d.Tiles), 10)
+		buf = append(buf, '\n')
+	}
+	return os.WriteFile(path, buf, 0o644)
 }

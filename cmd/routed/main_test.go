@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -96,11 +98,99 @@ func TestRunInterruptedMidStream(t *testing.T) {
 	}
 }
 
+// TestRunWALRecoveryMidStream interrupts a journaled run mid-stream, then
+// restarts it against the same WAL: the second run must recover the logged
+// prefix, resume at the first undecided packet, and leave a decision log
+// byte-identical to an uninterrupted reference run.
+func TestRunWALRecoveryMidStream(t *testing.T) {
+	dir := t.TempDir()
+	refLog := filepath.Join(dir, "ref.declog")
+	wal := filepath.Join(dir, "run.wal")
+	mergedLog := filepath.Join(dir, "merged.declog")
+	scenarioArgs := []string{"-scenario", "uniform", "-p", "n=32", "-p", "reqs=400", "-p", "maxt=256"}
+
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), append(scenarioArgs, "-declog", refLog), &out, &errb); code != 0 {
+		t.Fatalf("reference run: exit %d, stderr:\n%s", code, errb.String())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	out.Reset()
+	errb.Reset()
+	// -wal-sync 1 makes the interrupted prefix fully durable; the CI chaos
+	// job covers the batched-fsync torn-tail shape with a real kill -9.
+	code := run(ctx, append(scenarioArgs, "-wal", wal, "-wal-sync", "1", "-throttle", "2ms"), &out, &errb)
+	if code != 130 {
+		t.Fatalf("interrupted run: exit %d, want 130; stderr:\n%s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run(context.Background(), append(scenarioArgs, "-wal", wal, "-declog", mergedLog), &out, &errb); code != 0 {
+		t.Fatalf("recovery run: exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "recovered ") {
+		t.Fatalf("recovery run did not report a recovery:\n%s", errb.String())
+	}
+	m := decodeMetrics(t, out.Bytes())
+	if m.Recovered == 0 || m.Recovered >= uint64(m.Requests) {
+		t.Fatalf("recovery did not land mid-stream: recovered %d of %d", m.Recovered, m.Requests)
+	}
+	ref, err := os.ReadFile(refLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := os.ReadFile(mergedLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, merged) {
+		t.Fatal("merged decision log diverges from the uninterrupted reference")
+	}
+}
+
+// TestRunFaultSchedule smokes the chaos flags: a storm/pause schedule must
+// leave the stream fully decided with the same admissions as a clean run.
+func TestRunFaultSchedule(t *testing.T) {
+	scenarioArgs := []string{"-scenario", "uniform", "-p", "n=32", "-p", "reqs=120", "-p", "maxt=64"}
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), scenarioArgs, &out, &errb); code != 0 {
+		t.Fatalf("clean run: exit %d, stderr:\n%s", code, errb.String())
+	}
+	clean := decodeMetrics(t, out.Bytes())
+
+	out.Reset()
+	errb.Reset()
+	code := run(context.Background(), append(scenarioArgs,
+		"-producers", "4", "-queue", "16",
+		"-faults", "storm(seq=20,n=30,count=2);pause(seq=60,n=3,dur=200us);stall(seq=5,n=2,dur=300us)",
+	), &out, &errb)
+	if code != 0 {
+		t.Fatalf("chaos run: exit %d, stderr:\n%s", code, errb.String())
+	}
+	m := decodeMetrics(t, out.Bytes())
+	if m.RejectedQueueFull == 0 {
+		t.Fatal("storm injected no queue-full bounces")
+	}
+	if m.Accepted != clean.Accepted || m.Throughput != clean.Throughput || m.PrimalValue != clean.PrimalValue {
+		t.Fatalf("chaos changed decisions:\nclean: %+v\nchaos: %+v", clean, m)
+	}
+	if m.Accepted+m.RejectedCost+m.RejectedNoRoute+m.RejectedInvalid+m.Shed != uint64(m.Requests) {
+		t.Fatalf("stream not fully decided: %+v", m)
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-scenario", "no-such-scenario"},
 		{"-p", "notakeyval"},
 		{"-producers", "0"},
+		{"-faults", "storm(seq=1)", "-fault-seed", "7"},
+		{"-faults", "bogus(x=1)"},
 	} {
 		var out, errb bytes.Buffer
 		if code := run(context.Background(), args, &out, &errb); code != 2 {

@@ -20,10 +20,10 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"gridroute"
+	"gridroute/internal/scenario"
 )
 
 // algorithms maps -alg names to router constructors. seed and gamma feed
@@ -45,24 +45,6 @@ func algNames() string {
 	return strings.Join(names, ", ")
 }
 
-// paramFlags collects repeated -p key=val overrides.
-type paramFlags map[string]float64
-
-func (p paramFlags) String() string { return "" }
-
-func (p paramFlags) Set(s string) error {
-	key, val, ok := strings.Cut(s, "=")
-	if !ok || key == "" {
-		return fmt.Errorf("want key=val, got %q", s)
-	}
-	v, err := strconv.ParseFloat(val, 64)
-	if err != nil {
-		return fmt.Errorf("parameter %s: %v", key, err)
-	}
-	p[key] = v
-	return nil
-}
-
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -75,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	alg := fs.String("alg", "det", "algorithm: "+algNames())
 	sc := fs.String("scenario", "uniform", "workload scenario ID (see -list-scenarios)")
-	params := paramFlags{}
+	params := scenario.ParamFlags{}
 	fs.Var(params, "p", "scenario parameter override key=val (repeatable)")
 	seed := fs.Int64("seed", 0, "rng seed for scenario generation and the randomized algorithm (0 = scenario default stream)")
 	gamma := fs.Float64("gamma", 0, "randomized algorithm sparsification γ (0 = paper's 200)")

@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"gridroute/internal/detroute"
+	"gridroute/internal/engine/wal"
+	"gridroute/internal/fault"
 	"gridroute/internal/grid"
 	"gridroute/internal/ipp"
 	"gridroute/internal/lattice"
@@ -62,6 +64,12 @@ const (
 	// time (backpressure). Queue-full packets never reach the consumer loop
 	// and are absent from the decision log.
 	RejectedQueueFull
+	// Shed: the overload-degradation policy (Options.Shed) dropped the
+	// packet — deadline-aware early shedding or adaptive threshold
+	// tightening under sustained queue pressure. Shed packets reach the
+	// consumer loop (so they appear in the decision log and advance the
+	// arrival watermark) but never mutate the packer's weights.
+	Shed
 )
 
 func (v Verdict) String() string {
@@ -76,6 +84,8 @@ func (v Verdict) String() string {
 		return "rejected-invalid"
 	case RejectedQueueFull:
 		return "rejected-queue-full"
+	case Shed:
+		return "shed"
 	default:
 		return fmt.Sprintf("verdict(%d)", uint8(v))
 	}
@@ -165,6 +175,34 @@ type Options struct {
 	// serial loop at any setting. ≤ 0 keeps the serial consumer loop; 1
 	// exercises the full pipeline without parallelism.
 	SpecWorkers int
+	// GapTimeout arms the InOrder gap watchdog: if the consumer waits this
+	// long for the next expected Seq while later packets sit parked behind
+	// the gap, it records a *GapError (see Engine.Err) naming the missing
+	// sequence and resumes at the smallest parked Seq instead of stalling
+	// until Drain. 0 (the default) keeps the historical park-forever
+	// behavior. Only meaningful with InOrder.
+	GapTimeout time.Duration
+	// Injector wires a deterministic fault-injection harness into the
+	// engine: queue-full storms fire at the Admit gate, slow-consumer
+	// pauses before each decision, and space-time resource outages mask the
+	// failed sketch edges out of the route query (the packet reroutes or is
+	// rejected, deterministically). nil disables all hooks at zero cost.
+	Injector *fault.Injector
+	// Shed enables graceful overload degradation (see ShedPolicy). nil —
+	// the default — disables shedding entirely; decisions are then
+	// independent of queue pressure, which is what the determinism gates
+	// assume.
+	Shed *ShedPolicy
+	// WALPath, when non-empty, journals every consumer-loop decision to an
+	// append-only checksummed write-ahead log at this path (see
+	// internal/engine/wal). A crashed engine restarted with Recover replays
+	// the log and continues with a byte-identical decision stream. New
+	// truncates any existing file; use Recover to resume one.
+	WALPath string
+	// WALSyncEvery is the WAL fsync batch size (decisions per fsync);
+	// 0 means wal.DefaultSyncEvery. A crash loses at most the unsynced
+	// tail, which recovery re-decides deterministically.
+	WALSyncEvery int
 }
 
 // DefaultQueue is the admission queue bound when Options.Queue is 0.
@@ -172,6 +210,19 @@ const DefaultQueue = 256
 
 // Stats is a point-in-time snapshot of the engine's counters, safe to read
 // from any goroutine while the engine runs.
+//
+// Snapshots are coherent without a lock by read ordering: every packet's
+// Submitted increment happens before its verdict increment (program order —
+// Admit counts the submission before the packet can be decided or bounced),
+// and Stats loads the verdict counters first and Submitted last, so a
+// mid-flight snapshot always satisfies the monotone-pair invariants
+//
+//	Decided() + Shed + RejectedQueueFull ≤ Submitted
+//	SpecCommitted + SpecAborted ≤ Speculated ≤ Submitted
+//
+// with equality (for the first) once Drain has returned. In particular a
+// snapshot can never show Decided() > Submitted. The invariants are pinned
+// by TestStatsSnapshotCoherence.
 type Stats struct {
 	Submitted         uint64
 	Accepted          uint64
@@ -179,6 +230,12 @@ type Stats struct {
 	RejectedNoRoute   uint64
 	RejectedInvalid   uint64
 	RejectedQueueFull uint64
+	// Shed counts packets dropped by the overload policy (Options.Shed).
+	Shed uint64
+	// Recovered counts decisions replayed from the write-ahead log at
+	// startup (Recover); they are also included in Submitted and in their
+	// verdict counters, but not in AvgWait.
+	Recovered uint64
 	// QueueLen is the number of packets waiting in the admission queue.
 	QueueLen int
 	// AvgWait is the mean submission-to-decision latency over decided
@@ -197,13 +254,16 @@ type Stats struct {
 	SpecRetried   uint64
 }
 
-// Rejected is the total over all rejection verdicts.
+// Rejected is the total over all rejection verdicts (shed packets are
+// counted separately in Shed).
 func (s Stats) Rejected() uint64 {
 	return s.RejectedCost + s.RejectedNoRoute + s.RejectedInvalid + s.RejectedQueueFull
 }
 
 // Decided is the number of packets that reached the consumer loop and were
-// decided.
+// decided on their merits (shed packets reach the loop too, but are
+// accounted in Shed: Submitted = Decided + Shed + RejectedQueueFull after
+// drain).
 func (s Stats) Decided() uint64 {
 	return s.Accepted + s.RejectedCost + s.RejectedNoRoute + s.RejectedInvalid
 }
@@ -211,15 +271,27 @@ func (s Stats) Decided() uint64 {
 // ErrClosed is returned by Admit after Drain has begun.
 var ErrClosed = errors.New("engine: closed to new admissions")
 
+// Envelope delivery states: the submitter and the loop race on `state` with
+// a single CAS each, and the loser of the race learns what the winner did.
+const (
+	envWaiting   uint32 = iota // submitter is (or will be) blocked on reply
+	envDelivered               // loop won: the decision is in the buffered reply
+	envAbandoned               // submitter won: ctx cancelled, nobody will receive
+)
+
 // pending is the envelope of one in-flight admission: the packet (with
-// engine-owned coordinate copies), the submission timestamp and a reply
-// channel. Envelopes are pooled; ownership passes submit → loop → submitter,
-// and only the submitter returns one to the pool (after consuming the
-// reply), so a reply can never leak into a recycled envelope.
+// engine-owned coordinate copies), the submission timestamp, a reply channel
+// and a delivery state. Envelopes are pooled; ownership passes submit → loop
+// → submitter, and exactly one side returns each envelope to the pool: the
+// submitter after consuming the reply, or — when the submitter's ctx was
+// cancelled and its CAS to envAbandoned won — the loop at delivery time, so
+// a cancelled Admit leaks nothing and a reply can never bleed into a
+// recycled envelope.
 type pending struct {
 	pkt      Packet
 	src, dst []int
 	enq      time.Time
+	state    atomic.Uint32
 	reply    chan Decision
 }
 
@@ -239,8 +311,28 @@ type Engine struct {
 	k       int
 	d       int
 
-	inOrder bool
-	record  bool
+	inOrder  bool
+	record   bool
+	queue    int
+	firstSeq int
+
+	gapTimeout time.Duration
+	inj        *fault.Injector
+	shed       *shedState
+
+	// Write-ahead log state (loop-owned after start; see recover.go).
+	wal      *wal.Writer
+	walRec   wal.Record
+	walRoute sketch.Route
+
+	// Resource-outage mask cache (loop-owned; see outage.go).
+	maskEpoch int
+	maskEdges []ipp.EdgeID
+	maskBuf   []float64
+	outBuf    []fault.Event
+
+	errMu    sync.Mutex
+	firstErr error
 
 	in   chan *pending
 	done chan struct{}
@@ -279,6 +371,8 @@ type Engine struct {
 	rejNoRoute atomic.Uint64
 	rejInvalid atomic.Uint64
 	rejQFull   atomic.Uint64
+	shedCount  atomic.Uint64
+	recovered  atomic.Uint64
 	decided    atomic.Uint64
 	waitNs     atomic.Int64
 
@@ -293,8 +387,28 @@ type Engine struct {
 
 // New builds the engine's persistent routing state — space-time graph,
 // tiling, sketch, one query session, one dense packer, exactly as the batch
-// deterministic algorithm does — and starts the consumer loop.
+// deterministic algorithm does — and starts the consumer loop. With
+// Options.WALPath set it also creates (truncating) the write-ahead decision
+// log; use Recover to resume an existing log instead.
 func New(g *grid.Grid, opts Options) (*Engine, error) {
+	e, err := newEngine(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WALPath != "" {
+		w, err := wal.Create(opts.WALPath, e.walParams(), opts.WALSyncEvery)
+		if err != nil {
+			return nil, fmt.Errorf("engine: create wal: %w", err)
+		}
+		e.wal = w
+	}
+	e.start()
+	return e, nil
+}
+
+// newEngine builds a fully-initialized engine without starting any
+// goroutines, so Recover can replay a WAL into it first.
+func newEngine(g *grid.Grid, opts Options) (*Engine, error) {
 	if g.B != 0 && (g.B < 3 || g.C < 3) {
 		return nil, fmt.Errorf("engine: deterministic admission requires B, c ≥ 3 (or B = 0, c ≥ 3); got B=%d c=%d", g.B, g.C)
 	}
@@ -333,11 +447,18 @@ func New(g *grid.Grid, opts Options) (*Engine, error) {
 		g: g, st: st, tl: tl, sk: sk, sess: sk.NewSession(), pk: pk,
 		horizon: opts.Horizon, pmax: opts.PMax, k: k, d: d,
 		inOrder: opts.InOrder, record: opts.RecordDecisions,
-		in:        make(chan *pending, queue),
-		done:      make(chan struct{}),
-		nextSeq:   opts.FirstSeq,
-		watermark: math.MinInt64,
-		srcBuf:    make([]int, d+1),
+		queue: queue, firstSeq: opts.FirstSeq,
+		gapTimeout: opts.GapTimeout,
+		inj:        opts.Injector,
+		maskEpoch:  -1,
+		in:         make(chan *pending, queue),
+		done:       make(chan struct{}),
+		nextSeq:    opts.FirstSeq,
+		watermark:  math.MinInt64,
+		srcBuf:     make([]int, d+1),
+	}
+	if opts.Shed != nil {
+		e.shed = opts.Shed.state(queue)
 	}
 	if opts.InOrder {
 		e.parked = make(map[int]*pending)
@@ -360,13 +481,18 @@ func New(g *grid.Grid, opts Options) (*Engine, error) {
 	if opts.ExpectPackets > 0 {
 		e.admitted = make([]detroute.Admitted, 0, opts.ExpectPackets)
 	}
-	if opts.SpecWorkers > 0 {
-		e.specWorkers = opts.SpecWorkers
-		e.startSpec(queue)
+	e.specWorkers = opts.SpecWorkers
+	return e, nil
+}
+
+// start launches the consumer goroutines (the serial loop, or the
+// speculative pipeline).
+func (e *Engine) start() {
+	if e.specWorkers > 0 {
+		e.startSpec(e.queue)
 	} else {
 		go e.loop()
 	}
-	return e, nil
 }
 
 // Grid returns the engine's grid.
@@ -379,8 +505,12 @@ func (e *Engine) Params() (horizon int64, pmax, k int) { return e.horizon, e.pma
 // bounded queue rejects it, or ctx is done. It is safe to call from any
 // number of goroutines. After Drain has begun it returns ErrClosed.
 //
-// On ctx cancellation the packet may still be decided (and, if accepted,
-// routed) later: cancellation abandons the wait, not the submission.
+// On ctx cancellation Admit returns promptly with ctx.Err(), but the packet
+// may still be decided (and, if accepted, routed) later: cancellation
+// abandons the wait, not the submission. The pooled envelope is reclaimed by
+// whichever side loses the delivery race (see pending), so a cancelled Admit
+// leaks nothing; if the decision already landed when cancellation is
+// observed, Admit returns it instead of the error.
 func (e *Engine) Admit(ctx context.Context, pkt Packet) (Decision, error) {
 	p := e.pool.Get().(*pending)
 	p.pkt = pkt
@@ -389,14 +519,25 @@ func (e *Engine) Admit(ctx context.Context, pkt Packet) (Decision, error) {
 	p.pkt.Src = p.src
 	p.pkt.Dst = p.dst
 	p.enq = time.Now()
+	p.state.Store(envWaiting)
 
 	// The closed flag and the channel send sit under a read lock so Drain's
-	// close(e.in) (under the write lock) cannot race a send.
+	// close(e.in) (under the write lock) cannot race a send. Submitted is
+	// counted before the send: the Stats snapshot contract requires every
+	// packet's Submitted increment to precede its verdict increment.
 	e.mu.RLock()
 	if e.shut {
 		e.mu.RUnlock()
 		e.pool.Put(p)
 		return Decision{}, ErrClosed
+	}
+	e.submitted.Add(1)
+	if e.inj != nil && e.inj.StormBounce(pkt.Seq) {
+		// Injected queue-full storm: bounce exactly as a full queue would.
+		e.mu.RUnlock()
+		e.pool.Put(p)
+		e.rejQFull.Add(1)
+		return Decision{Seq: pkt.Seq, Verdict: RejectedQueueFull}, nil
 	}
 	select {
 	case e.in <- p:
@@ -404,34 +545,42 @@ func (e *Engine) Admit(ctx context.Context, pkt Packet) (Decision, error) {
 	default:
 		e.mu.RUnlock()
 		e.pool.Put(p)
-		e.submitted.Add(1)
 		e.rejQFull.Add(1)
 		return Decision{Seq: pkt.Seq, Verdict: RejectedQueueFull}, nil
 	}
-	e.submitted.Add(1)
 
 	select {
 	case d := <-p.reply:
 		e.pool.Put(p)
 		return d, nil
 	case <-ctx.Done():
-		// The loop still owns p and will deliver into the buffered reply;
-		// the envelope is simply dropped from the pool.
-		return Decision{}, ctx.Err()
+		if p.state.CompareAndSwap(envWaiting, envAbandoned) {
+			// The loop observes the abandonment at delivery time and
+			// recycles the envelope itself.
+			return Decision{}, ctx.Err()
+		}
+		// Delivery won the race: the decision is (or is immediately about
+		// to be) in the buffered reply. Consume it, recycle, return it.
+		d := <-p.reply
+		e.pool.Put(p)
+		return d, nil
 	}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Load order is part of the
+// contract (see the Stats type doc): outcome counters first — verdicts,
+// Shed, queue-full, the spec commit/abort pair — then Speculated, then
+// Submitted last, so the documented monotone-pair invariants hold for every
+// snapshot, not just quiescent ones.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Submitted:         e.submitted.Load(),
 		Accepted:          e.accepted.Load(),
 		RejectedCost:      e.rejCost.Load(),
 		RejectedNoRoute:   e.rejNoRoute.Load(),
 		RejectedInvalid:   e.rejInvalid.Load(),
+		Shed:              e.shedCount.Load(),
+		Recovered:         e.recovered.Load(),
 		RejectedQueueFull: e.rejQFull.Load(),
-		QueueLen:          len(e.in),
-		Speculated:        e.speculated.Load(),
 		SpecCommitted:     e.specCommitted.Load(),
 		SpecAborted:       e.specAborted.Load(),
 		SpecRetried:       e.specRetried.Load(),
@@ -439,14 +588,59 @@ func (e *Engine) Stats() Stats {
 	if n := e.decided.Load(); n > 0 {
 		s.AvgWait = time.Duration(e.waitNs.Load() / int64(n))
 	}
+	s.Speculated = e.speculated.Load()
+	s.Submitted = e.submitted.Load()
+	s.QueueLen = len(e.in)
 	return s
 }
 
+// Err returns the first asynchronous engine fault — a gap-watchdog break
+// (*GapError) or a WAL write failure — or nil. The engine keeps deciding
+// after such faults; callers poll Err (typically after Drain) to learn the
+// run was degraded.
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}
+
+// setErr records the first asynchronous fault; later ones are dropped.
+func (e *Engine) setErr(err error) {
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+}
+
 // loop is the single consumer: it owns every piece of mutable routing state
-// and decides packets strictly one at a time.
+// and decides packets strictly one at a time. With Options.GapTimeout set it
+// also runs the InOrder gap watchdog: whenever packets are parked behind a
+// missing Seq, a timer measures how long nextSeq has been stuck (re-armed
+// only when nextSeq advances, so slow-but-progressing streams never fire it)
+// and on expiry the gap is broken (gap.go).
 func (e *Engine) loop() {
 	defer close(e.done)
-	for p := range e.in {
+	watch := e.inOrder && e.gapTimeout > 0
+	var w gapWatch
+	for {
+		var p *pending
+		var ok bool
+		if watch && len(e.parked) > 0 {
+			w.arm(e.gapTimeout, e.nextSeq)
+			select {
+			case p, ok = <-e.in:
+			case <-w.timer.C:
+				w.armed = false
+				e.breakGap()
+				continue
+			}
+		} else {
+			p, ok = <-e.in
+		}
+		if !ok {
+			break
+		}
 		if e.inOrder {
 			e.processOrdered(p)
 		} else {
@@ -493,13 +687,39 @@ func (e *Engine) flushParked() {
 }
 
 func (e *Engine) process(p *pending) {
+	if e.inj != nil {
+		if d := e.inj.PauseBefore(p.pkt.Seq); d > 0 {
+			time.Sleep(d) // injected slow-consumer pause
+		}
+	}
 	d := e.decide(&p.pkt)
 	d.Wait = time.Since(p.enq)
+	e.finalize(p, d)
+}
+
+// finalize is the single exit path of every consumer-loop decision (serial
+// and speculative): count it, record it, journal it, deliver it.
+func (e *Engine) finalize(p *pending, d Decision) {
 	e.count(d)
 	if e.record {
 		e.decisions = append(e.decisions, d)
 	}
-	p.reply <- d
+	if e.wal != nil {
+		e.walAppend(&p.pkt, d)
+	}
+	e.deliver(p, d)
+}
+
+// deliver hands a decision to the submitter, or reclaims the envelope if the
+// submitter abandoned the wait (ctx cancellation). Exactly one side recycles
+// each envelope: the CAS decides which.
+func (e *Engine) deliver(p *pending, d Decision) {
+	if p.state.CompareAndSwap(envWaiting, envDelivered) {
+		p.reply <- d
+		return
+	}
+	// Abandoned: no receiver will ever come; the loop owns the envelope now.
+	e.pool.Put(p)
 }
 
 // decide is the warm admit path: one sketch lightest-route query plus one
@@ -516,6 +736,12 @@ func (e *Engine) decide(pkt *Packet) Decision {
 		return d
 	}
 	e.watermark = pkt.Arrival
+	if e.shed != nil && e.shedPre(pkt) {
+		// Deadline-aware early shed under queue pressure: the packet would
+		// queue past its slack anyway, so drop it before the DP runs.
+		d.Verdict = Shed
+		return d
+	}
 
 	src := e.st.ToLattice(r.Src, r.Arrival, e.srcBuf)
 	wLo, wHi := e.st.DestRay(&r)
@@ -523,13 +749,25 @@ func (e *Engine) decide(pkt *Packet) Decision {
 		// Bufferless: the only reachable copy shares the source's w.
 		wLo, wHi = src[e.d], src[e.d]
 	}
-	if !e.sess.LightestRouteInto(e.pk, src, r.Dst, wLo, wHi, e.pmax, &e.scratch) {
+	var ok bool
+	if blocked := e.activeMask(pkt.Arrival); blocked != nil {
+		ok = e.sess.LightestRouteMasked(e.pk, src, r.Dst, wLo, wHi, e.pmax, blocked, e.maskBuf, &e.scratch)
+	} else {
+		ok = e.sess.LightestRouteInto(e.pk, src, r.Dst, wLo, wHi, e.pmax, &e.scratch)
+	}
+	if !ok {
 		e.pk.Offer(nil, 0)
 		d.Verdict = RejectedNoRoute
 		return d
 	}
 	d.Cost = e.scratch.Cost
 	d.Tiles = e.scratch.NumTiles()
+	if e.shed != nil && e.shedPost(e.scratch.Cost) {
+		// The route clears the paper's α(p) < 1 threshold but not the
+		// tightened one: shed without offering.
+		d.Verdict = Shed
+		return d
+	}
 	if !e.offerPath(e.scratch.Edges, e.scratch.Cost) {
 		d.Verdict = RejectedCost
 		return d
@@ -547,6 +785,8 @@ func (e *Engine) count(d Decision) {
 		e.rejCost.Add(1)
 	case RejectedNoRoute:
 		e.rejNoRoute.Add(1)
+	case Shed:
+		e.shedCount.Add(1)
 	default:
 		e.rejInvalid.Add(1)
 	}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// GapError reports that the InOrder consumer waited Options.GapTimeout
+// without receiving the next expected sequence number while later packets
+// sat parked behind the gap. The engine does not stall: it resumes at the
+// smallest parked sequence (every seq in [Missing, SkippedTo) is missing)
+// and records the error for Engine.Err.
+type GapError struct {
+	// Missing is the first sequence number that never arrived.
+	Missing int
+	// SkippedTo is the sequence number the loop resumed at.
+	SkippedTo int
+	// Parked is how many packets were parked behind the gap when it broke.
+	Parked int
+	// Waited is the configured GapTimeout.
+	Waited time.Duration
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("engine: in-order gap: seq %d missing for %s (%d parked; resumed at seq %d)",
+		e.Missing, e.Waited, e.Parked, e.SkippedTo)
+}
+
+// gapWatch is the watchdog timer state shared by the serial loop and the
+// speculative committer. The timer is (re)armed only when the stuck sequence
+// number changes, so it measures "no progress past nextSeq for GapTimeout" —
+// not "no arrivals for GapTimeout" — and a slow but progressing stream never
+// fires it.
+type gapWatch struct {
+	timer    *time.Timer
+	armed    bool
+	armedSeq int
+}
+
+func (w *gapWatch) arm(d time.Duration, nextSeq int) {
+	if w.armed && w.armedSeq == nextSeq {
+		return // clock already running against this gap
+	}
+	if w.timer == nil {
+		w.timer = time.NewTimer(d)
+	} else {
+		if !w.timer.Stop() {
+			select {
+			case <-w.timer.C:
+			default:
+			}
+		}
+		w.timer.Reset(d)
+	}
+	w.armed, w.armedSeq = true, nextSeq
+}
+
+// breakGap resolves a timed-out InOrder gap in the serial loop: record the
+// typed error, advance to the smallest parked seq and process the contiguous
+// run behind it.
+func (e *Engine) breakGap() {
+	min, ok := minParkedKey(e.parked)
+	if !ok {
+		return
+	}
+	e.setErr(&GapError{Missing: e.nextSeq, SkippedTo: min, Parked: len(e.parked), Waited: e.gapTimeout})
+	e.nextSeq = min
+	p := e.parked[min]
+	delete(e.parked, min)
+	e.processOrdered(p)
+}
+
+// breakSpecGap is breakGap for the speculative committer's parked set.
+func (e *Engine) breakSpecGap() {
+	min, ok := minParkedKey(e.parkedSpecs)
+	if !ok {
+		return
+	}
+	e.setErr(&GapError{Missing: e.nextSeq, SkippedTo: min, Parked: len(e.parkedSpecs), Waited: e.gapTimeout})
+	e.nextSeq = min
+	sp := e.parkedSpecs[min]
+	delete(e.parkedSpecs, min)
+	e.commitOrdered(sp)
+}
+
+func minParkedKey[V any](m map[int]V) (int, bool) {
+	min, ok := 0, false
+	for s := range m {
+		if !ok || s < min {
+			min, ok = s, true
+		}
+	}
+	return min, ok
+}

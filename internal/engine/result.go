@@ -130,6 +130,18 @@ func (e *Engine) Drain(ctx context.Context) error {
 		// so the wavefront pool (if any) can be torn down. Close is nil-safe
 		// and idempotent, matching Drain's own contract.
 		e.dpPool.Close()
+		// The loop was the only WAL writer and it is gone (loop exit
+		// happens-before the done close), so the log can be flushed and
+		// closed here. A clean Drain leaves a fully-synced log with no torn
+		// tail.
+		e.mu.Lock()
+		if e.wal != nil {
+			if err := e.wal.Close(); err != nil {
+				e.setErr(err)
+			}
+			e.wal = nil
+		}
+		e.mu.Unlock()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

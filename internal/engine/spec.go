@@ -181,6 +181,13 @@ func (e *Engine) speculate(w *specWorker, sp *speculation) {
 		sp.geomMiss = true
 		return
 	}
+	if e.shed != nil || (e.inj != nil && e.inj.OutageActive(pkt.Arrival)) {
+		// Shedding depends on committer-time queue pressure and outages on the
+		// committer's masked solve: neither can be speculated against a plain
+		// weight snapshot. Leave sp.ok false so the committer re-decides this
+		// packet serially with the full policy applied.
+		return
+	}
 
 	// Snapshot the window's weight rows, unless the previous snapshot is
 	// provably current: same prepared window and the packer version has not
@@ -212,11 +219,30 @@ func (e *Engine) commitLoop() {
 	defer close(e.done)
 	byTicket := make(map[uint64]*speculation)
 	var next uint64
-	for sp := range e.specOut {
+	watch := e.inOrder && e.gapTimeout > 0
+	var w gapWatch
+	for {
+		var sp *speculation
+		var ok bool
+		if watch && len(e.parkedSpecs) > 0 {
+			w.arm(e.gapTimeout, e.nextSeq)
+			select {
+			case sp, ok = <-e.specOut:
+			case <-w.timer.C:
+				w.armed = false
+				e.breakSpecGap()
+				continue
+			}
+		} else {
+			sp, ok = <-e.specOut
+		}
+		if !ok {
+			break
+		}
 		byTicket[sp.ticket] = sp
 		for {
-			q, ok := byTicket[next]
-			if !ok {
+			q, qok := byTicket[next]
+			if !qok {
 				break
 			}
 			delete(byTicket, next)
@@ -273,6 +299,11 @@ func (e *Engine) flushParkedSpecs() {
 // produced at this point in the sequence.
 func (e *Engine) commitSpec(sp *speculation) {
 	pkt := &sp.p.pkt
+	if e.inj != nil {
+		if d := e.inj.PauseBefore(pkt.Seq); d > 0 {
+			time.Sleep(d) // injected slow-consumer pause
+		}
+	}
 	var d Decision
 	switch {
 	case sp.infeasible || pkt.Arrival < e.watermark:
@@ -280,6 +311,15 @@ func (e *Engine) commitSpec(sp *speculation) {
 		// weight-independent, so it is decided here, never speculated past.
 		d = Decision{Seq: pkt.Seq, Verdict: RejectedInvalid}
 		e.specCommitted.Add(1)
+	case e.shed != nil:
+		// Overload shedding reads live queue pressure at decision time; the
+		// serial decide is the only path that applies it. geomMiss packets
+		// must take it too — shedPre runs before the route query, so a packet
+		// the serial loop would shed early must not slip through as a
+		// committed geometric rejection.
+		e.specAborted.Add(1)
+		e.specRetried.Add(1)
+		d = e.decide(pkt)
 	case sp.geomMiss:
 		// Geometric no-route: weight-independent, always commits. The nil
 		// offer only bumps the packer's rejection counter (no weight
@@ -309,12 +349,9 @@ func (e *Engine) commitSpec(sp *speculation) {
 		d = e.decide(pkt)
 	}
 	d.Wait = time.Since(sp.p.enq)
-	e.count(d)
-	if e.record {
-		e.decisions = append(e.decisions, d)
-	}
-	sp.p.reply <- d
+	p := sp.p
 	e.putSpec(sp)
+	e.finalize(p, d)
 }
 
 // specConflicts reports whether any edge committed after sp's snapshot lies

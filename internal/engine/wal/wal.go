@@ -1,0 +1,485 @@
+// Package wal implements the engine's write-ahead decision log: an
+// append-only, checksummed, fsync-batched journal of every admission decision
+// that reached the consumer loop. Replaying the log rebuilds engine state
+// (IPP weights, arenas, watermark, next sequence number) bit-identically, so
+// a crashed engine restarted from its WAL produces a decision log
+// byte-identical to an uninterrupted run.
+//
+// # Format
+//
+// A log is a sequence of frames, each
+//
+//	[u32le payload length][u32le IEEE CRC-32 of payload][payload]
+//
+// Frame 0 is a header whose payload starts with the magic "gridWAL1" and
+// encodes the engine parameters (grid dims, B, c, horizon, pmax, tile side,
+// first seq); recovery refuses a log whose parameters do not match the
+// engine being rebuilt. Every later frame is one decision record.
+//
+// Because fsync is batched (Writer.SyncEvery), a crash may lose an unsynced
+// tail of frames; it can also leave a final partially-written frame. The
+// Reader distinguishes the two failure shapes with typed errors: a
+// *TornError (file ends mid-frame — the expected crash shape) and a
+// *CorruptError (a complete frame fails its checksum or decodes
+// inconsistently). Both carry the byte offset of the bad frame; recovery
+// truncates there and re-decides the lost suffix deterministically, so a
+// lost tail never changes the merged decision log.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+const (
+	magic      = "gridWAL1"
+	maxPayload = 1 << 20
+
+	// DefaultSyncEvery is the fsync batch size when the caller passes <= 0.
+	DefaultSyncEvery = 64
+
+	flagRoute = 1 << 0 // record carries route fields (accepted decisions)
+)
+
+// Params identifies the engine configuration a log belongs to. Recovery
+// validates them against the restarted engine's options.
+type Params struct {
+	Dims     []int
+	B, C     int
+	Horizon  int64
+	PMax     int
+	TileSide int
+	FirstSeq int
+}
+
+// Record is one logged admission decision. Route fields (Deadline, Src, Dst,
+// StartTile, Axes) are meaningful only when HasRoute is set — the engine sets
+// it for accepted packets, whose routes must be replayed into the packer.
+type Record struct {
+	Seq     int
+	Verdict uint8
+	Arrival int64
+	Cost    float64
+	Tiles   int
+
+	HasRoute  bool
+	Deadline  int64
+	Src, Dst  []int
+	StartTile int
+	Axes      []uint8
+}
+
+// TornError reports a file that ends in the middle of a frame — the expected
+// shape of an fsync-batched log after a crash. Offset is where the torn
+// frame starts; truncating there yields a valid log.
+type TornError struct {
+	Offset int64
+}
+
+func (e *TornError) Error() string {
+	return fmt.Sprintf("wal: torn frame at offset %d (crash tail)", e.Offset)
+}
+
+// CorruptError reports a complete frame whose checksum or contents are
+// invalid. Offset is where the corrupt frame starts.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt frame at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Recoverable reports whether err is a torn or corrupt tail — the error
+// shapes recovery handles by truncating the log at err's offset. Any other
+// error (I/O failure, parameter mismatch) is not recoverable-by-truncation.
+func Recoverable(err error) (offset int64, ok bool) {
+	var torn *TornError
+	if errors.As(err, &torn) {
+		return torn.Offset, true
+	}
+	var corrupt *CorruptError
+	if errors.As(err, &corrupt) {
+		return corrupt.Offset, true
+	}
+	return 0, false
+}
+
+// Writer appends frames to a log file, fsyncing every SyncEvery records.
+type Writer struct {
+	f         *os.File
+	bw        *bufio.Writer
+	scratch   []byte
+	head      [8]byte
+	syncEvery int
+	unsynced  int
+}
+
+// Create creates (or truncates) a log at path and writes the header frame.
+func Create(path string, p Params, syncEvery int) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := newWriter(f, syncEvery)
+	w.scratch = appendHeader(w.scratch[:0], p)
+	if err := w.writeFrame(w.scratch); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Resume reopens an existing log for appending. If truncAt >= 0 the file is
+// first truncated to that length (dropping a torn or corrupt tail); writing
+// continues at the end of the file.
+func Resume(path string, truncAt int64, syncEvery int) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if truncAt >= 0 {
+		if err := f.Truncate(truncAt); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newWriter(f, syncEvery), nil
+}
+
+func newWriter(f *os.File, syncEvery int) *Writer {
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncEvery
+	}
+	return &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16), syncEvery: syncEvery}
+}
+
+// Append encodes and buffers one record, fsyncing if the batch is full.
+func (w *Writer) Append(rec *Record) error {
+	w.scratch = appendRecord(w.scratch[:0], rec)
+	if err := w.writeFrame(w.scratch); err != nil {
+		return err
+	}
+	w.unsynced++
+	if w.unsynced >= w.syncEvery {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync flushes buffered frames and fsyncs the file.
+func (w *Writer) Sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log.
+func (w *Writer) Close() error {
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (w *Writer) writeFrame(payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("wal: frame payload %d exceeds %d bytes", len(payload), maxPayload)
+	}
+	binary.LittleEndian.PutUint32(w.head[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.head[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(w.head[:]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(payload)
+	return err
+}
+
+// Reader sequentially decodes a log. Use Open for files; NewReader accepts
+// any io.Reader (the header frame is then read by Header).
+type Reader struct {
+	br      *bufio.Reader
+	src     io.Reader
+	off     int64
+	payload []byte
+}
+
+// NewReader wraps r. Call Header before Next.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16), src: r}
+}
+
+// Open opens the log at path and decodes its header frame.
+func Open(path string) (*Reader, Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Params{}, err
+	}
+	r := NewReader(f)
+	p, err := r.Header()
+	if err != nil {
+		f.Close()
+		return nil, Params{}, err
+	}
+	return r, p, nil
+}
+
+// Header reads and validates the header frame. It must be the first read.
+func (r *Reader) Header() (Params, error) {
+	start := r.off
+	payload, err := r.frame()
+	if err != nil {
+		return Params{}, err
+	}
+	p, err := decodeHeader(payload)
+	if err != nil {
+		return Params{}, &CorruptError{Offset: start, Reason: err.Error()}
+	}
+	return p, nil
+}
+
+// Offset returns the byte offset of the next unread frame.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Next decodes the next record. It returns io.EOF at a clean end of log, a
+// *TornError if the file ends mid-frame, and a *CorruptError for a frame
+// that fails its checksum or decodes inconsistently. rec is only modified on
+// success, so a failed read never half-applies.
+func (r *Reader) Next(rec *Record) error {
+	start := r.off
+	payload, err := r.frame()
+	if err != nil {
+		return err
+	}
+	if err := decodeRecord(payload, rec); err != nil {
+		return &CorruptError{Offset: start, Reason: err.Error()}
+	}
+	return nil
+}
+
+// Close closes the underlying reader if it is an io.Closer.
+func (r *Reader) Close() error {
+	if c, ok := r.src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+func (r *Reader) frame() ([]byte, error) {
+	start := r.off
+	var head [8]byte
+	n, err := io.ReadFull(r.br, head[:])
+	if n == 0 && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+		return nil, io.EOF
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return nil, &TornError{Offset: start}
+	}
+	if err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(head[0:4])
+	sum := binary.LittleEndian.Uint32(head[4:8])
+	if length > maxPayload {
+		return nil, &CorruptError{Offset: start, Reason: fmt.Sprintf("frame length %d exceeds %d", length, maxPayload)}
+	}
+	if cap(r.payload) < int(length) {
+		r.payload = make([]byte, length)
+	}
+	r.payload = r.payload[:length]
+	if _, err := io.ReadFull(r.br, r.payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, &TornError{Offset: start}
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(r.payload) != sum {
+		return nil, &CorruptError{Offset: start, Reason: "checksum mismatch"}
+	}
+	r.off = start + 8 + int64(length)
+	return r.payload, nil
+}
+
+// --- encoding ---
+
+func appendHeader(b []byte, p Params) []byte {
+	b = append(b, magic...)
+	b = binary.AppendUvarint(b, uint64(len(p.Dims)))
+	for _, d := range p.Dims {
+		b = binary.AppendVarint(b, int64(d))
+	}
+	b = binary.AppendVarint(b, int64(p.B))
+	b = binary.AppendVarint(b, int64(p.C))
+	b = binary.AppendVarint(b, p.Horizon)
+	b = binary.AppendVarint(b, int64(p.PMax))
+	b = binary.AppendVarint(b, int64(p.TileSide))
+	b = binary.AppendVarint(b, int64(p.FirstSeq))
+	return b
+}
+
+func decodeHeader(payload []byte) (Params, error) {
+	var p Params
+	if len(payload) < len(magic) || string(payload[:len(magic)]) != magic {
+		return p, errors.New("bad magic")
+	}
+	d := decoder{buf: payload[len(magic):]}
+	nd := d.uvarint("dims")
+	if nd > 64 {
+		return p, fmt.Errorf("implausible dim count %d", nd)
+	}
+	p.Dims = make([]int, nd)
+	for i := range p.Dims {
+		p.Dims[i] = int(d.varint("dim"))
+	}
+	p.B = int(d.varint("B"))
+	p.C = int(d.varint("C"))
+	p.Horizon = d.varint("horizon")
+	p.PMax = int(d.varint("pmax"))
+	p.TileSide = int(d.varint("tileSide"))
+	p.FirstSeq = int(d.varint("firstSeq"))
+	if d.err == nil && len(d.buf) != 0 {
+		d.err = errors.New("trailing bytes in header")
+	}
+	return p, d.err
+}
+
+func appendRecord(b []byte, rec *Record) []byte {
+	var flags byte
+	if rec.HasRoute {
+		flags |= flagRoute
+	}
+	b = append(b, rec.Verdict, flags)
+	b = binary.AppendUvarint(b, uint64(rec.Seq))
+	b = binary.AppendVarint(b, rec.Arrival)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rec.Cost))
+	b = binary.AppendUvarint(b, uint64(rec.Tiles))
+	if rec.HasRoute {
+		b = binary.AppendVarint(b, rec.Deadline)
+		b = binary.AppendUvarint(b, uint64(len(rec.Src)))
+		for _, c := range rec.Src {
+			b = binary.AppendVarint(b, int64(c))
+		}
+		for _, c := range rec.Dst {
+			b = binary.AppendVarint(b, int64(c))
+		}
+		b = binary.AppendUvarint(b, uint64(rec.StartTile))
+		b = binary.AppendUvarint(b, uint64(len(rec.Axes)))
+		b = append(b, rec.Axes...)
+	}
+	return b
+}
+
+func decodeRecord(payload []byte, rec *Record) error {
+	if len(payload) < 2 {
+		return errors.New("record shorter than verdict+flags")
+	}
+	var tmp Record
+	tmp.Verdict = payload[0]
+	flags := payload[1]
+	if flags&^byte(flagRoute) != 0 {
+		return fmt.Errorf("unknown record flags %#x", flags)
+	}
+	tmp.HasRoute = flags&flagRoute != 0
+	d := decoder{buf: payload[2:]}
+	tmp.Seq = int(d.uvarint("seq"))
+	tmp.Arrival = d.varint("arrival")
+	tmp.Cost = math.Float64frombits(d.u64("cost"))
+	tmp.Tiles = int(d.uvarint("tiles"))
+	if tmp.HasRoute {
+		tmp.Deadline = d.varint("deadline")
+		nc := d.uvarint("coord count")
+		if nc > 64 {
+			return fmt.Errorf("implausible coord count %d", nc)
+		}
+		tmp.Src = make([]int, nc)
+		tmp.Dst = make([]int, nc)
+		for i := range tmp.Src {
+			tmp.Src[i] = int(d.varint("src coord"))
+		}
+		for i := range tmp.Dst {
+			tmp.Dst[i] = int(d.varint("dst coord"))
+		}
+		tmp.StartTile = int(d.uvarint("start tile"))
+		na := d.uvarint("axes count")
+		if d.err == nil && na > uint64(len(d.buf)) {
+			return fmt.Errorf("axes count %d exceeds remaining %d bytes", na, len(d.buf))
+		}
+		if d.err == nil {
+			tmp.Axes = append([]uint8(nil), d.buf[:na]...)
+			d.buf = d.buf[na:]
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return errors.New("trailing bytes in record")
+	}
+	if tmp.Seq < 0 || tmp.Tiles < 0 || tmp.StartTile < 0 {
+		return errors.New("negative count in record")
+	}
+	*rec = tmp
+	return nil
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("bad uvarint for %s", what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("bad varint for %s", what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) u64(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = fmt.Errorf("short fixed64 for %s", what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}

@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParamFlags collects repeated -p key=val scenario overrides. It implements
+// flag.Value, so both routesim and routed share one parser (and one fuzz
+// corpus) instead of drifting copies.
+type ParamFlags map[string]float64
+
+func (p ParamFlags) String() string { return "" }
+
+// Set parses one key=val override. The value must be a finite-or-infinite
+// float64 literal; the key must be non-empty. Errors are returned, never
+// panicked, whatever the input.
+func (p ParamFlags) Set(s string) error {
+	key, val, err := SplitParam(s)
+	if err != nil {
+		return err
+	}
+	p[key] = val
+	return nil
+}
+
+// SplitParam parses a single key=val parameter override.
+func SplitParam(s string) (key string, val float64, err error) {
+	key, raw, ok := strings.Cut(s, "=")
+	if !ok || key == "" {
+		return "", 0, fmt.Errorf("want key=val, got %q", s)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("parameter %s: %v", key, err)
+	}
+	return key, v, nil
+}

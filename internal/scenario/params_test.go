@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParamFlagsSet(t *testing.T) {
+	p := ParamFlags{}
+	for _, s := range []string{"reqs=5000", "rho=0.75", "seed=42", "rho=0.5"} {
+		if err := p.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	want := ParamFlags{"reqs": 5000, "rho": 0.5, "seed": 42}
+	if len(p) != len(want) {
+		t.Fatalf("got %v, want %v", p, want)
+	}
+	for k, v := range want {
+		if p[k] != v {
+			t.Errorf("p[%q] = %v, want %v", k, p[k], v)
+		}
+	}
+}
+
+func TestParamFlagsRejects(t *testing.T) {
+	for _, s := range []string{"", "=", "=1", "reqs", "reqs=", "reqs=abc", "reqs=1x"} {
+		if err := (ParamFlags{}).Set(s); err == nil {
+			t.Errorf("Set(%q): want error, got nil", s)
+		}
+	}
+}
+
+// FuzzSplitParam pins the shared -p parser's contract: it never panics, and
+// on success the key is non-empty, came verbatim from before the first '=',
+// and the value round-trips through strconv.
+func FuzzSplitParam(f *testing.F) {
+	f.Add("reqs=5000")
+	f.Add("rho=0.75")
+	f.Add("x=-1e300")
+	f.Add("x=NaN")
+	f.Add("x=Inf")
+	f.Add("")
+	f.Add("=")
+	f.Add("a=b=c")
+	f.Add("a==1")
+	f.Add("\x00=\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		key, val, err := SplitParam(s)
+		if err != nil {
+			return
+		}
+		if key == "" {
+			t.Fatalf("SplitParam(%q) accepted an empty key", s)
+		}
+		pre, raw, ok := strings.Cut(s, "=")
+		if !ok || pre != key {
+			t.Fatalf("SplitParam(%q) returned key %q, input splits to %q", s, key, pre)
+		}
+		want, perr := strconv.ParseFloat(raw, 64)
+		if perr != nil {
+			t.Fatalf("SplitParam(%q) accepted a value strconv rejects: %v", s, perr)
+		}
+		if want != val && !(math.IsNaN(want) && math.IsNaN(val)) {
+			t.Fatalf("SplitParam(%q) = %v, strconv = %v", s, val, want)
+		}
+	})
+}

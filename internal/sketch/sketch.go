@@ -509,6 +509,32 @@ func (s *Session) SolveSnapshot(xs []float64, skipDP bool, out *Route) bool {
 	return s.extractRoute(out)
 }
 
+// LightestRouteMasked is LightestRouteInto under a resource-outage mask: the
+// query is solved over a snapshot of the dense packer weights in which every
+// blocked edge id costs +Inf, so no route can traverse a failed resource.
+// Reported costs remain true live costs — a masked edge can only appear on an
+// infinite-cost route, which extraction rejects. buf must be Universe() long;
+// only the prepared window's rows are (re)written per call, and entries
+// outside the window may hold stale values from earlier calls — the DP never
+// reads outside the window, so they are harmless. Requires a dense packer.
+func (s *Session) LightestRouteMasked(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int, blocked []ipp.EdgeID, buf []float64, out *Route) bool {
+	if !s.PrepareQuery(srcPoint, dst, wLo, wHi, maxTiles) {
+		return false
+	}
+	xs := pk.Weights()
+	if xs == nil {
+		panic("sketch: LightestRouteMasked requires a dense packer")
+	}
+	s.SnapshotWindow(xs, buf)
+	for _, e := range blocked {
+		buf[e] = math.Inf(1)
+	}
+	// The buffer was mutated after the copy: never let a later snapshot solve
+	// skip the DP on the strength of this one.
+	s.specValid = false
+	return s.SolveSnapshot(buf, false, out)
+}
+
 // routeInto materializes a DP path as a sketch Route, reusing out's slices.
 func (s *Session) routeInto(p *lattice.Path, cost float64, out *Route) {
 	g := s.g

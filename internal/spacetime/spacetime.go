@@ -130,6 +130,25 @@ func (st *Graph) DestRay(r *grid.Request) (wLo, wHi int) {
 	return wLo, wHi
 }
 
+// OutageWindow maps a node outage over the real-time interval [from, to) to
+// the inclusive w-range of the node's lattice copies: the copy of node v at
+// real time t sits at w = t − Σvᵢ, so the failed copies occupy
+// w ∈ [from − Σv, to − Σv), clipped to the box. ok is false when the clipped
+// range is empty (the outage lies entirely outside the horizon).
+func (st *Graph) OutageWindow(v grid.Vec, from, to int64) (wLo, wHi int, ok bool) {
+	s := v.Sum()
+	wLo = int(from) - s
+	wHi = int(to-1) - s
+	d := st.G.D()
+	if wLo < st.Box.Lo[d] {
+		wLo = st.Box.Lo[d]
+	}
+	if wHi > st.Box.Hi[d]-1 {
+		wHi = st.Box.Hi[d] - 1
+	}
+	return wLo, wHi, wLo <= wHi
+}
+
 // Move is one step of a packet schedule. Values 0..d-1 transmit along the
 // corresponding grid axis; Hold keeps the packet buffered for a step.
 type Move = int8
