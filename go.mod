@@ -1,3 +1,8 @@
 module gridroute
 
 go 1.24
+
+// Pinned to the exact revision the Go 1.24 distribution vendors for cmd/vet,
+// and vendored (vendor/) so builds never need the network. The analyzer suite
+// under internal/analysis and cmd/gridlint build against it.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,195 @@
+// Package analyzertest is a minimal stand-in for
+// golang.org/x/tools/go/analysis/analysistest, which is not part of the
+// analysis subset the Go distribution vendors (and this module builds with
+// no network). It covers what the gridlint fixtures need: parse and
+// type-check one testdata package with the source importer, run analyzers
+// with an in-memory fact store, and match reported diagnostics against
+// // want "regexp" comments, failing the test on any mismatch in either
+// direction.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture package at dir (a directory of .go files, relative
+// to the test's working directory), runs the analyzers over it in order,
+// and checks diagnostics against the fixture's // want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	sort.Strings(paths)
+	var files []*ast.File
+	for _, p := range paths {
+		f, perr := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if perr != nil {
+			t.Fatalf("parse %s: %v", p, perr)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	facts := newFactStore()
+	results := make(map[*analysis.Analyzer]interface{})
+	var runOne func(a *analysis.Analyzer)
+	runOne = func(a *analysis.Analyzer) {
+		if _, done := results[a]; done {
+			return
+		}
+		for _, req := range a.Requires {
+			runOne(req)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+			ImportObjectFact:  facts.importObject,
+			ExportObjectFact:  facts.exportObject,
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool { return false },
+			ExportPackageFact: func(fact analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	for _, a := range analyzers {
+		runOne(a)
+	}
+
+	checkWants(t, fset, files, diags)
+}
+
+// factStore is a by-object fact table; single-package fixtures only need
+// locally exported facts to be re-importable within the same run.
+type factStore struct {
+	objects map[types.Object][]analysis.Fact
+}
+
+func newFactStore() *factStore { return &factStore{objects: make(map[types.Object][]analysis.Fact)} }
+
+func (s *factStore) exportObject(obj types.Object, fact analysis.Fact) {
+	s.objects[obj] = append(s.objects[obj], fact)
+}
+
+func (s *factStore) importObject(obj types.Object, fact analysis.Fact) bool {
+	for _, f := range s.objects[obj] {
+		if reflect.TypeOf(f) == reflect.TypeOf(fact) {
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// wantRx extracts the quoted patterns of a // want comment; both "..." and
+// `...` quoting are accepted, as in upstream analysistest.
+var wantRx = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// checkWants cross-checks diagnostics against // want comments by file:line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantRx.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.rx.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, exp.rx)
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"gridroute/internal/analysis/analyzertest"
+	"gridroute/internal/analysis/detflow"
+)
+
+func TestDetflowFlagged(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/flagged", detflow.Analyzer)
+}
+
+func TestDetflowClean(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/clean", detflow.Analyzer)
+}

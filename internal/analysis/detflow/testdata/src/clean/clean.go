@@ -1,0 +1,27 @@
+// Package clean shows the sanctioned patterns: an allowed metrics-only
+// latency stamp, explicitly seeded generators, and nondeterminism in
+// functions outside any deterministic closure.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+type log struct {
+	out []int
+	enq time.Time
+}
+
+//gridroute:deterministic
+func (l *log) decide(seed int64) int {
+	l.enq = time.Now() //gridlint:allow metrics-only latency stamp, never reaches the log
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8) + pure()
+}
+
+func pure() int { return 1 }
+
+// unrooted is nondeterministic but unreachable from any root: it exports a
+// Nondet fact for cross-package callers yet reports nothing here.
+func unrooted() time.Time { return time.Now() }

@@ -1,0 +1,29 @@
+// Package flagged exercises every detflow diagnostic: a direct wall-clock
+// read in a deterministic root, map iteration in the root, and an unseeded
+// rand draw reached transitively through the local call graph.
+package flagged
+
+import (
+	"math/rand"
+	"time"
+)
+
+type log struct {
+	out []int
+}
+
+//gridroute:deterministic
+func (l *log) decide(m map[int]int) int {
+	t := time.Now() // want `wall-clock call time.Now in deterministic flow`
+	_ = t
+	for k := range m { // want `map iteration \(nondeterministic order\) in deterministic flow`
+		l.out = append(l.out, k)
+	}
+	return jitter()
+}
+
+// jitter is not annotated, but decide reaches it: its draw is reported as
+// part of the closure.
+func jitter() int {
+	return rand.Intn(8) // want `unseeded global rand.Intn in deterministic flow`
+}

@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"gridroute/internal/analysis/analyzertest"
+	"gridroute/internal/analysis/hotalloc"
+)
+
+func TestHotallocFlagged(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/flagged", hotalloc.Analyzer)
+}
+
+func TestHotallocClean(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/clean", hotalloc.Analyzer)
+}

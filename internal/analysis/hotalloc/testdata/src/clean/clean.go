@@ -1,0 +1,35 @@
+// Package clean shows the amortized-growth idiom and the sanctioned escape
+// hatches: field-stored make, appends into reused buffers, value composite
+// literals, formatting confined to panic, pointer arguments to interface
+// parameters, and an explicitly allowed by-design allocation.
+package clean
+
+import "fmt"
+
+type buf struct {
+	data []int
+	tmp  []int
+}
+
+func consume(v interface{}) {}
+
+//gridroute:hotpath
+func (b *buf) hot(n int) int {
+	if cap(b.data) < n {
+		b.data = make([]int, n) // amortized growth into a field: allowed
+	}
+	b.data = append(b.data[:0], 1, 2)
+	b.tmp = append(b.tmp, b.data...)
+	v := buf{} // value composite literal stays on the stack
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // the failing path may format freely
+	}
+	consume(&v) // pointers live in the interface word: no boxing
+	return len(b.data)
+}
+
+//gridroute:hotpath
+func (b *buf) sparseFallback(n int) func() int {
+	//gridlint:allow sparse fallback allocates by documented design
+	return func() int { return n }
+}

@@ -1,0 +1,35 @@
+// Package flagged exercises every hotalloc diagnostic on an annotated
+// function: per-call make, heap-escaping composite literals, closures, fmt,
+// new, append to a fresh slice, and interface boxing.
+package flagged
+
+import "fmt"
+
+type buf struct {
+	data []int
+}
+
+func consume(v interface{}) {}
+
+//gridroute:hotpath
+func (b *buf) hot(n int) int {
+	s := make([]int, n) // want `make on hot path allocates per call`
+	p := &buf{}         // want `heap-escaping composite literal &buf{...} on hot path`
+	_ = p
+	f := func() int { return n } // want `closure on hot path`
+	_ = f
+	fmt.Println(n) // want `fmt call on hot path allocates`
+	q := new(int)  // want `new\(\.\.\.\) on hot path allocates per call`
+	_ = q
+	t := append([]int{}, s...) // want `slice literal allocates a backing array` `append to a fresh slice allocates per call`
+	_ = t
+	consume(n)         // want `interface boxing on hot path`
+	m := map[int]int{} // want `map literal allocates on hot path`
+	_ = m
+	return len(s)
+}
+
+// cold is unannotated: the same code reports nothing.
+func (b *buf) cold(n int) []int {
+	return append([]int{}, make([]int, n)...)
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"gridroute/internal/analysis/analyzertest"
+	"gridroute/internal/analysis/lockorder"
+)
+
+func TestLockorderFlagged(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/flagged", lockorder.Analyzer)
+}
+
+func TestLockorderClean(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/clean", lockorder.Analyzer)
+}

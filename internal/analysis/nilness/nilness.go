@@ -1,0 +1,176 @@
+// Package nilness is a self-contained replacement for the stock x/tools
+// nilness pass, which cannot be vendored here (it depends on go/ssa, and
+// this module vendors only the analysis subset the Go distribution ships
+// for cmd/vet). It catches the same headline bug class with a deliberately
+// conservative AST analysis: inside a branch taken only when a variable is
+// known nil (if x == nil { ... } or the else of x != nil), any dereference
+// of that variable — field access through a pointer, *x, indexing, a call,
+// or a map element write — is a guaranteed panic.
+//
+// The branch is skipped entirely if it reassigns the variable or takes its
+// address, so there are no flow-sensitivity false positives; what remains
+// reported is unconditionally wrong.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"gridroute/internal/analysis/annotation"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report dereferences of variables on branches where they are known to be nil",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	allows := annotation.CollectAllows(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if annotation.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj, eq := nilComparison(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			// x == nil: the then-branch has x nil. x != nil: the else does.
+			var nilBranch ast.Stmt
+			if eq {
+				nilBranch = ifs.Body
+			} else {
+				nilBranch = ifs.Else
+			}
+			if nilBranch != nil {
+				checkNilBranch(pass, obj, nilBranch, allows)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilComparison matches x == nil / nil == x (eq=true) and x != nil (eq=false)
+// where x is a simple local variable of a nilable type.
+func nilComparison(pass *analysis.Pass, cond ast.Expr) (obj *types.Var, eq bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(pass, y) {
+		// keep x
+	} else if isNilIdent(pass, x) {
+		x = y
+	} else {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return nil, false
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Signature, *types.Chan, *types.Interface:
+		return v, bin.Op == token.EQL
+	}
+	return nil, false
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// checkNilBranch reports dereferences of v inside branch. If the branch
+// reassigns v or takes its address anywhere, it is skipped wholesale.
+func checkNilBranch(pass *analysis.Pass, v *types.Var, branch ast.Stmt, allows *annotation.Allows) {
+	escaped := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				// Only a direct reassignment of the variable itself clears
+				// its nilness; writes through it (m[k] = v) do not.
+				if refersTo(pass, lhs, v) {
+					escaped = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && usesVar(pass, n.X, v) {
+				escaped = true
+			}
+		}
+		return !escaped
+	})
+	if escaped {
+		return
+	}
+	_, isPtr := v.Type().Underlying().(*types.Pointer)
+	_, isFunc := v.Type().Underlying().(*types.Signature)
+	_, isMap := v.Type().Underlying().(*types.Map)
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			if refersTo(pass, n.X, v) {
+				reportNil(pass, allows, n.Pos(), v, "dereferenced")
+			}
+		case *ast.SelectorExpr:
+			if isPtr && refersTo(pass, n.X, v) {
+				reportNil(pass, allows, n.Pos(), v, "dereferenced via field access")
+			}
+		case *ast.IndexExpr:
+			if isPtr && refersTo(pass, n.X, v) {
+				reportNil(pass, allows, n.Pos(), v, "indexed through")
+			}
+		case *ast.CallExpr:
+			if isFunc && refersTo(pass, n.Fun, v) {
+				reportNil(pass, allows, n.Pos(), v, "called")
+			}
+		case *ast.AssignStmt:
+			if isMap {
+				for _, lhs := range n.Lhs {
+					if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && refersTo(pass, idx.X, v) {
+						reportNil(pass, allows, lhs.Pos(), v, "written to as a map")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportNil(pass *analysis.Pass, allows *annotation.Allows, pos token.Pos, v *types.Var, how string) {
+	if !allows.Allowed(pos) {
+		pass.Reportf(pos, "nil dereference: %s is nil on this branch and is %s", v.Name(), how)
+	}
+}
+
+func usesVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// refersTo reports whether e is exactly the variable v (modulo parens).
+func refersTo(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == v
+}

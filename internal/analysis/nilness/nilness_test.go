@@ -1,0 +1,16 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"gridroute/internal/analysis/analyzertest"
+	"gridroute/internal/analysis/nilness"
+)
+
+func TestNilnessFlagged(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/flagged", nilness.Analyzer)
+}
+
+func TestNilnessClean(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/clean", nilness.Analyzer)
+}

@@ -1,0 +1,43 @@
+// Package clean exercises the analyzer's bail-outs: branches that reassign
+// the variable before use, nil-map reads (legal in Go), ranging over nil
+// slices, and address-taking.
+package clean
+
+type node struct {
+	next *node
+	val  int
+}
+
+func reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+func mapRead(m map[int]int) int {
+	if m == nil {
+		return m[1] // reading a nil map yields the zero value
+	}
+	return m[1]
+}
+
+func nilRange(s []int) int {
+	sum := 0
+	if s == nil {
+		for _, v := range s {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func addressed(p *int) int {
+	if p == nil {
+		q := &p
+		*q = new(int)
+		return *p
+	}
+	return *p
+}

@@ -1,0 +1,37 @@
+// Package flagged dereferences variables on branches where they are
+// provably nil: pointer field access, star deref, nil map write, and a nil
+// function call.
+package flagged
+
+type node struct {
+	next *node
+	val  int
+}
+
+func field(n *node) int {
+	if n == nil {
+		return n.val // want `nil dereference: n is nil on this branch and is dereferenced via field access`
+	}
+	return 0
+}
+
+func star(p *int) int {
+	if p != nil {
+		return *p
+	} else {
+		return *p // want `nil dereference: p is nil on this branch and is dereferenced`
+	}
+}
+
+func mapWrite(m map[int]int) {
+	if m == nil {
+		m[1] = 2 // want `nil dereference: m is nil on this branch and is written to as a map`
+	}
+}
+
+func call(fn func() int) int {
+	if fn == nil {
+		return fn() // want `nil dereference: fn is nil on this branch and is called`
+	}
+	return fn()
+}

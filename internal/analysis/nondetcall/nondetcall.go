@@ -1,0 +1,79 @@
+// Package nondetcall classifies call expressions that introduce
+// nondeterminism into a routing decision: wall-clock reads and draws from
+// the global (unseeded) math/rand sources. detflow and seqclock share this
+// classifier so the two contracts can never drift apart on what counts as
+// "the clock".
+package nondetcall
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClock is the set of time-package functions whose result (or firing
+// order) depends on the wall clock. time.ParseDuration, time.Unix and
+// friends are pure and deliberately absent.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Sleep":     true,
+}
+
+// seededCtor is the set of math/rand constructors that are fine everywhere:
+// they build an explicitly-seeded generator rather than drawing from the
+// global source. Methods on a *rand.Rand value are likewise always fine.
+var seededCtor = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Classify reports whether call is a nondeterministic primitive, returning a
+// short human-readable description of the offense.
+func Classify(info *types.Info, call *ast.CallExpr) (desc string, bad bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	switch pkg.Path() {
+	case "time":
+		if fn.Type().(*types.Signature).Recv() == nil && wallClock[fn.Name()] {
+			return "wall-clock call time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level functions draw from the shared global source; the
+		// constructors and any method on an explicit generator are seeded.
+		if fn.Type().(*types.Signature).Recv() == nil && !seededCtor[fn.Name()] {
+			return "unseeded global " + pkg.Name() + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// calleeFunc resolves the static callee of call, or nil for builtins,
+// function-typed variables, and dynamic interface calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch e := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

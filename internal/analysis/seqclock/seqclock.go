@@ -1,0 +1,57 @@
+// Package seqclock enforces the logical-clock contract on fault injection
+// and WAL replay: a package marked //gridroute:seqclock may key behavior
+// only on packet sequence numbers and arrival stamps carried in the data,
+// never on the wall clock or the global rand source. A fault schedule that
+// fired on time.Now would make chaos runs unreproducible, and a replay that
+// consulted the clock would diverge from the log it is replaying.
+//
+// The marker is package-scoped: one //gridroute:seqclock comment anywhere
+// in the package puts every non-test file under the rule. Explicitly-seeded
+// generators (rand.New(rand.NewSource(seed))) and pure time functions
+// (time.ParseDuration) remain available.
+package seqclock
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+
+	"gridroute/internal/analysis/annotation"
+	"gridroute/internal/analysis/nondetcall"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seqclock",
+	Doc:  "//gridroute:seqclock packages may key only on seq/arrival, never wall clock or global rand",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	marked := false
+	for _, f := range pass.Files {
+		if !annotation.IsTestFile(pass.Fset, f) && annotation.FileDirective(f, annotation.SeqClock) {
+			marked = true
+			break
+		}
+	}
+	if !marked {
+		return nil, nil
+	}
+	allows := annotation.CollectAllows(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if annotation.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if desc, bad := nondetcall.Classify(pass.TypesInfo, call); bad && !allows.Allowed(call.Pos()) {
+				pass.Reportf(call.Pos(), "%s in a //gridroute:seqclock package: key on packet seq/arrival instead", desc)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

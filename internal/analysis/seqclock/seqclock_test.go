@@ -1,0 +1,20 @@
+package seqclock_test
+
+import (
+	"testing"
+
+	"gridroute/internal/analysis/analyzertest"
+	"gridroute/internal/analysis/seqclock"
+)
+
+func TestSeqclockFlagged(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/flagged", seqclock.Analyzer)
+}
+
+func TestSeqclockClean(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/clean", seqclock.Analyzer)
+}
+
+func TestSeqclockUnmarked(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/unmarked", seqclock.Analyzer)
+}

@@ -1,0 +1,17 @@
+// Package flagged keys a fault schedule on the wall clock and the global
+// rand source — exactly what makes chaos runs unreproducible.
+//
+//gridroute:seqclock
+package flagged
+
+import (
+	"math/rand"
+	"time"
+)
+
+func trigger(seq uint64) bool {
+	if time.Now().UnixNano()%2 == 0 { // want `wall-clock call time.Now in a //gridroute:seqclock package`
+		return true
+	}
+	return rand.Intn(2) == 0 // want `unseeded global rand.Intn in a //gridroute:seqclock package`
+}

@@ -1,0 +1,7 @@
+// Package unmarked has no //gridroute:seqclock directive: the analyzer
+// leaves it alone even though it reads the clock freely.
+package unmarked
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

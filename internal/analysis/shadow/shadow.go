@@ -1,0 +1,139 @@
+// Package shadow is a self-contained replacement for the stock x/tools
+// shadow pass (not vendorable here — the Go distribution's cmd/vet vendor
+// tree does not carry it). It implements the same span heuristic: an inner
+// declaration of a name shadows an outer local variable of identical type,
+// and is reported only when the outer variable is still used after the
+// inner declaration — the pattern where a later read plausibly meant the
+// inner value. The classic instance is an inner `err :=` swallowing an
+// outer err that is returned further down.
+//
+// Package-level and universe names are never reported (shadowing those is
+// pervasive, deliberate Go style), matching the stock pass.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"gridroute/internal/analysis/annotation"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "report shadowed local variables that are still used after the shadowing declaration",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	allows := annotation.CollectAllows(pass.Fset, pass.Files)
+
+	// Span of every local variable: from its declaration to its last use.
+	span := make(map[*types.Var]token.Pos)
+	grow := func(obj types.Object, pos token.Pos) {
+		if v, ok := obj.(*types.Var); ok {
+			if end := pos; end > span[v] {
+				span[v] = end
+			}
+		}
+	}
+	for id, obj := range pass.TypesInfo.Defs {
+		if obj != nil {
+			grow(obj, id.End())
+		}
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		grow(obj, id.End())
+	}
+
+	for _, f := range pass.Files {
+		if annotation.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		// Declarations in the init clause of an if/for/switch are scoped to
+		// that one statement by construction — the `if err := f(); err != nil`
+		// idiom — and are never reported.
+		initStmts := make(map[ast.Stmt]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				initStmts[n.Init] = true
+			case *ast.ForStmt:
+				initStmts[n.Init] = true
+			case *ast.SwitchStmt:
+				initStmts[n.Init] = true
+			case *ast.TypeSwitchStmt:
+				initStmts[n.Init] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE || initStmts[ast.Stmt(n)] {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						checkDecl(pass, span, allows, id)
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							checkDecl(pass, span, allows, id)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkDecl reports id if it shadows a same-typed outer local variable whose
+// value is still read after this declaration.
+func checkDecl(pass *analysis.Pass, span map[*types.Var]token.Pos, allows *annotation.Allows, id *ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	inner, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok {
+		return
+	}
+	scope := inner.Parent()
+	if scope == nil || scope.Parent() == nil {
+		return
+	}
+	// Look the name up starting just outside the inner variable's scope.
+	_, outerObj := scope.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer == inner || outer.IsField() {
+		return
+	}
+	// Only local-vs-local shadowing: skip package-level and universe names.
+	if outer.Parent() == nil || outer.Parent() == types.Universe || outer.Parent().Parent() == types.Universe {
+		return
+	}
+	if !types.Identical(inner.Type(), outer.Type()) {
+		return
+	}
+	// The heuristic: the outer variable must still be used after the inner
+	// declaration, in the same file.
+	last := span[outer]
+	if last <= id.Pos() {
+		return
+	}
+	if allows.Allowed(id.Pos()) {
+		return
+	}
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d",
+		id.Name, pass.Fset.Position(outer.Pos()).Line)
+}

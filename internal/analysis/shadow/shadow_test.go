@@ -1,0 +1,16 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"gridroute/internal/analysis/analyzertest"
+	"gridroute/internal/analysis/shadow"
+)
+
+func TestShadowFlagged(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/flagged", shadow.Analyzer)
+}
+
+func TestShadowClean(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/clean", shadow.Analyzer)
+}

@@ -1,0 +1,34 @@
+// Package clean exercises the heuristic's negative space: the outer value
+// is never read after the inner declaration, the types differ, or the
+// shadowed name is package-level (deliberate Go style, never reported).
+package clean
+
+import "errors"
+
+var global = 1
+
+func doneWithOuter(fail bool) error {
+	err := errors.New("outer")
+	if err != nil {
+		return err
+	}
+	if fail {
+		err := errors.New("inner") // outer err is dead here: no report
+		return err
+	}
+	return nil
+}
+
+func differentType() int {
+	n := 1
+	{
+		n := "inner" // different type: no report
+		_ = n
+	}
+	return n
+}
+
+func shadowsGlobal() int {
+	global := 2 // package-level names may be shadowed freely
+	return global
+}

@@ -1,0 +1,14 @@
+// Package flagged shadows an err that is still read afterwards — the
+// classic swallowed-error bug the span heuristic exists to catch.
+package flagged
+
+import "errors"
+
+func swallowed(fail bool) error {
+	err := errors.New("outer")
+	if fail {
+		err := errors.New("inner") // want `declaration of "err" shadows declaration at line \d+`
+		_ = err
+	}
+	return err
+}

@@ -161,9 +161,9 @@ func RunDeterministic(g *grid.Grid, reqs []grid.Request, cfg DetConfig) (*DetRes
 		// arbitrary request sequences whose IDs need not be 0..n−1.
 		pkt := engine.PacketOf(&reqs[i])
 		pkt.Seq = i
-		dec, err := eng.Admit(ctx, pkt)
-		if err != nil {
-			return nil, err
+		dec, aerr := eng.Admit(ctx, pkt)
+		if aerr != nil {
+			return nil, aerr
 		}
 		res.Outcomes[i].Admitted = dec.Admitted()
 	}

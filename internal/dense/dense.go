@@ -24,6 +24,8 @@ type Counts struct {
 
 // Reset clears all counts and (re)sizes the universe. Existing buffers are
 // reused when large enough, so a warm Counts allocates nothing.
+//
+//gridroute:hotpath
 func (c *Counts) Reset(universe int) {
 	if cap(c.stamp) < universe {
 		c.stamp = make([]uint32, universe)
@@ -46,6 +48,8 @@ func (c *Counts) Reset(universe int) {
 func (c *Counts) Len() int { return len(c.val) }
 
 // Get returns the count at i (0 if never written this epoch).
+//
+//gridroute:hotpath
 func (c *Counts) Get(i int) int {
 	if c.stamp[i] != c.epoch {
 		return 0
@@ -54,6 +58,8 @@ func (c *Counts) Get(i int) int {
 }
 
 // Add adds delta to the count at i and returns the new value.
+//
+//gridroute:hotpath
 func (c *Counts) Add(i, delta int) int {
 	if c.stamp[i] != c.epoch {
 		c.stamp[i] = c.epoch
@@ -84,6 +90,8 @@ type Buckets struct {
 
 // Reset clears all buckets and (re)sizes the key universe and item count.
 // Warm Buckets allocate nothing.
+//
+//gridroute:hotpath
 func (b *Buckets) Reset(universe, items int) {
 	if cap(b.stamp) < universe {
 		b.stamp = make([]uint32, universe)
@@ -109,6 +117,8 @@ func (b *Buckets) Reset(universe, items int) {
 
 // Put appends item to the bucket of key. Each item must be Put at most once
 // per epoch.
+//
+//gridroute:hotpath
 func (b *Buckets) Put(key, item int) {
 	b.next[item] = -1
 	if b.stamp[key] != b.epoch {
@@ -127,6 +137,8 @@ func (b *Buckets) Put(key, item int) {
 func (b *Buckets) Keys() []int32 { return b.keys }
 
 // First returns the first item of key's bucket, or -1 when empty.
+//
+//gridroute:hotpath
 func (b *Buckets) First(key int) int {
 	if b.stamp[key] != b.epoch {
 		return -1

@@ -511,6 +511,8 @@ func (e *Engine) Params() (horizon int64, pmax, k int) { return e.horizon, e.pma
 // whichever side loses the delivery race (see pending), so a cancelled Admit
 // leaks nothing; if the decision already landed when cancellation is
 // observed, Admit returns it instead of the error.
+//
+//gridroute:hotpath
 func (e *Engine) Admit(ctx context.Context, pkt Packet) (Decision, error) {
 	p := e.pool.Get().(*pending)
 	p.pkt = pkt
@@ -518,7 +520,7 @@ func (e *Engine) Admit(ctx context.Context, pkt Packet) (Decision, error) {
 	p.dst = append(p.dst[:0], pkt.Dst...)
 	p.pkt.Src = p.src
 	p.pkt.Dst = p.dst
-	p.enq = time.Now()
+	p.enq = time.Now() //gridlint:allow metrics-only latency stamp (Decision.Wait), never reaches the log
 	p.state.Store(envWaiting)
 
 	// The closed flag and the channel send sit under a read lock so Drain's
@@ -650,6 +652,7 @@ func (e *Engine) loop() {
 	e.flushParked()
 }
 
+//gridroute:hotpath
 func (e *Engine) processOrdered(p *pending) {
 	if p.pkt.Seq != e.nextSeq {
 		e.parked[p.pkt.Seq] = p
@@ -686,10 +689,11 @@ func (e *Engine) flushParked() {
 	}
 }
 
+//gridroute:hotpath
 func (e *Engine) process(p *pending) {
 	if e.inj != nil {
 		if d := e.inj.PauseBefore(p.pkt.Seq); d > 0 {
-			time.Sleep(d) // injected slow-consumer pause
+			time.Sleep(d) //gridlint:allow fault-injected slow-consumer stall: delays the loop, never changes a verdict
 		}
 	}
 	d := e.decide(&p.pkt)
@@ -699,6 +703,8 @@ func (e *Engine) process(p *pending) {
 
 // finalize is the single exit path of every consumer-loop decision (serial
 // and speculative): count it, record it, journal it, deliver it.
+//
+//gridroute:hotpath
 func (e *Engine) finalize(p *pending, d Decision) {
 	e.count(d)
 	if e.record {
@@ -713,6 +719,8 @@ func (e *Engine) finalize(p *pending, d Decision) {
 // deliver hands a decision to the submitter, or reclaims the envelope if the
 // submitter abandoned the wait (ctx cancellation). Exactly one side recycles
 // each envelope: the CAS decides which.
+//
+//gridroute:hotpath
 func (e *Engine) deliver(p *pending, d Decision) {
 	if p.state.CompareAndSwap(envWaiting, envDelivered) {
 		p.reply <- d
@@ -725,6 +733,9 @@ func (e *Engine) deliver(p *pending, d Decision) {
 // decide is the warm admit path: one sketch lightest-route query plus one
 // packer offer, mirroring the batch loop body of the deterministic
 // algorithm. It is allocation-free in steady state.
+//
+//gridroute:deterministic
+//gridroute:hotpath
 func (e *Engine) decide(pkt *Packet) Decision {
 	d := Decision{Seq: pkt.Seq}
 	r := grid.Request{ID: pkt.Seq, Src: pkt.Src, Dst: pkt.Dst, Arrival: pkt.Arrival, Deadline: pkt.Deadline}
@@ -756,7 +767,7 @@ func (e *Engine) decide(pkt *Packet) Decision {
 		ok = e.sess.LightestRouteInto(e.pk, src, r.Dst, wLo, wHi, e.pmax, &e.scratch)
 	}
 	if !ok {
-		e.pk.Offer(nil, 0)
+		e.pk.Offer(nil, 0) //gridlint:allow nil offer bumps the rejection counter only, no weight mutation
 		d.Verdict = RejectedNoRoute
 		return d
 	}
@@ -777,6 +788,7 @@ func (e *Engine) decide(pkt *Packet) Decision {
 	return d
 }
 
+//gridroute:hotpath
 func (e *Engine) count(d Decision) {
 	switch d.Verdict {
 	case Accepted:

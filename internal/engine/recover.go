@@ -62,19 +62,19 @@ func Recover(g *grid.Grid, opts Options) (*Engine, Recovery, error) {
 	truncAt := int64(-1)
 	var rec wal.Record
 	for {
-		err := rd.Next(&rec)
-		if err == io.EOF {
+		rerr := rd.Next(&rec)
+		if rerr == io.EOF {
 			break
 		}
-		if off, ok := wal.Recoverable(err); ok {
+		if off, ok := wal.Recoverable(rerr); ok {
 			// Torn or corrupt tail: drop it. The decisions it held will be
 			// re-decided deterministically as the stream is resubmitted.
 			truncAt = off
 			break
 		}
-		if err != nil {
+		if rerr != nil {
 			rd.Close()
-			return nil, Recovery{}, fmt.Errorf("engine: read wal: %w", err)
+			return nil, Recovery{}, fmt.Errorf("engine: read wal: %w", rerr)
 		}
 		if aerr := e.applyRecord(&rec); aerr != nil {
 			rd.Close()
@@ -139,6 +139,8 @@ func (e *Engine) checkWALParams(p wal.Params) error {
 // rejection counter, exactly like the live paths), shed and invalid records
 // touch no packer state. Corrupt-but-checksummed records surface as errors —
 // never a panic, never a half-applied record.
+//
+//gridroute:deterministic
 func (e *Engine) applyRecord(rec *wal.Record) error {
 	v := Verdict(rec.Verdict)
 	d := Decision{Seq: rec.Seq, Verdict: v, Cost: rec.Cost, Tiles: rec.Tiles}
@@ -155,7 +157,7 @@ func (e *Engine) applyRecord(rec *wal.Record) error {
 		if err != nil {
 			return err
 		}
-		if !e.pk.Offer(route.Edges, rec.Cost) {
+		if !e.pk.Offer(route.Edges, rec.Cost) { //gridlint:allow replay runs single-threaded before the workers start
 			return fmt.Errorf("engine: wal replay diverged at seq %d: packer rejected the logged route", rec.Seq)
 		}
 		r := grid.Request{
@@ -166,11 +168,11 @@ func (e *Engine) applyRecord(rec *wal.Record) error {
 		e.accepted.Add(1)
 		e.watermark = rec.Arrival
 	case RejectedCost:
-		e.pk.Offer(nil, 0)
+		e.pk.Offer(nil, 0) //gridlint:allow replay runs single-threaded before the workers start
 		e.rejCost.Add(1)
 		e.watermark = rec.Arrival
 	case RejectedNoRoute:
-		e.pk.Offer(nil, 0)
+		e.pk.Offer(nil, 0) //gridlint:allow replay runs single-threaded before the workers start
 		e.rejNoRoute.Add(1)
 		e.watermark = rec.Arrival
 	case Shed:

@@ -92,6 +92,7 @@ func (j *specJournal) init(capacity int) {
 	j.n, j.next = 0, 0
 }
 
+//gridroute:versionstamp
 func (j *specJournal) add(ver uint64, edges []ipp.EdgeID) {
 	r := &j.recs[j.next]
 	r.ver = ver
@@ -253,6 +254,7 @@ func (e *Engine) commitLoop() {
 	e.flushParkedSpecs()
 }
 
+//gridroute:deterministic
 func (e *Engine) commitOrdered(sp *speculation) {
 	if !e.inOrder {
 		e.commitSpec(sp)
@@ -297,11 +299,13 @@ func (e *Engine) flushParkedSpecs() {
 // on conflict. It replicates decide's branch structure exactly, so the
 // decision (verdict, cost, tiles) is the one the serial loop would have
 // produced at this point in the sequence.
+//
+//gridroute:deterministic
 func (e *Engine) commitSpec(sp *speculation) {
 	pkt := &sp.p.pkt
 	if e.inj != nil {
 		if d := e.inj.PauseBefore(pkt.Seq); d > 0 {
-			time.Sleep(d) // injected slow-consumer pause
+			time.Sleep(d) //gridlint:allow fault-injected slow-consumer stall: delays the commit, never changes a verdict
 		}
 	}
 	var d Decision
@@ -325,7 +329,7 @@ func (e *Engine) commitSpec(sp *speculation) {
 		// offer only bumps the packer's rejection counter (no weight
 		// mutation), matching the serial loop's bookkeeping.
 		e.watermark = pkt.Arrival
-		e.pk.Offer(nil, 0)
+		e.pk.Offer(nil, 0) //gridlint:allow nil offer bumps the rejection counter only, no weight mutation
 		d = Decision{Seq: pkt.Seq, Verdict: RejectedNoRoute}
 		e.specCommitted.Add(1)
 	case sp.ok && !e.specConflicts(sp):
@@ -348,7 +352,7 @@ func (e *Engine) commitSpec(sp *speculation) {
 		e.specRetried.Add(1)
 		d = e.decide(pkt)
 	}
-	d.Wait = time.Since(sp.p.enq)
+	d.Wait = time.Since(sp.p.enq) //gridlint:allow metrics-only wait measurement, not part of the decision
 	p := sp.p
 	e.putSpec(sp)
 	e.finalize(p, d)
@@ -396,9 +400,11 @@ func (e *Engine) specConflicts(sp *speculation) bool {
 // it runs under the write lock and is journaled; rejections (cost ≥ 1)
 // touch only counters workers never read and stay lock-free, as does the
 // whole call in serial mode.
+//
+//gridroute:weightmutator specMu
 func (e *Engine) offerPath(edges []ipp.EdgeID, cost float64) bool {
 	if e.specWorkers <= 0 || cost >= 1 {
-		return e.pk.Offer(edges, cost)
+		return e.pk.Offer(edges, cost) //gridlint:allow serial mode or rejection: no concurrent snapshot readers to fence
 	}
 	e.specMu.Lock()
 	ok := e.pk.Offer(edges, cost)

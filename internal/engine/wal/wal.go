@@ -24,6 +24,8 @@
 // inconsistently). Both carry the byte offset of the bad frame; recovery
 // truncates there and re-decides the lost suffix deterministically, so a
 // lost tail never changes the merged decision log.
+//
+//gridroute:seqclock
 package wal
 
 import (

@@ -47,11 +47,11 @@ func runAblations(ctx context.Context, cfg Config) (Report, error) {
 	randSlots, timedOut, err := SweepResults(ctx, cfg, &skips, len(knobs), func(i int, skip func(string, ...any)) *core.RandResult {
 		kn := knobs[i]
 		// One coin stream for every knob: rows differ only through γ/cap.
-		res, err := core.RunRandomized(g, reqs,
+		res, rerr := core.RunRandomized(g, reqs,
 			core.RandConfig{Horizon: horizon, Gamma: kn.gamma, LoadCap: kn.loadCap, Branch: 1},
 			cfg.SubRNG("rand/coins"))
-		if err != nil {
-			skip("E13a gamma=%v loadcap=%v: %v", kn.gamma, kn.loadCap, err)
+		if rerr != nil {
+			skip("E13a gamma=%v loadcap=%v: %v", kn.gamma, kn.loadCap, rerr)
 			return nil
 		}
 		return res
@@ -85,9 +85,9 @@ func runAblations(ctx context.Context, cfg Config) (Report, error) {
 		}
 	}
 	detSlots, timedOut2, err := SweepResults(ctx, cfg, &skips, len(ks), func(i int, skip func(string, ...any)) *core.DetResult {
-		res, err := core.RunDeterministic(g2, reqs2, core.DetConfig{TileSide: ks[i]})
-		if err != nil {
-			skip("E13b k=%d: %v", ks[i], err)
+		res, rerr := core.RunDeterministic(g2, reqs2, core.DetConfig{TileSide: ks[i]})
+		if rerr != nil {
+			skip("E13b k=%d: %v", ks[i], rerr)
 			return nil
 		}
 		return res

@@ -78,9 +78,9 @@ func runDetSweep(ctx context.Context, cfg Config) (Report, error) {
 		g := grid.New([]int{s, s}, 3, 3)
 		reqs := scenario.Uniform(g, 6*s*s, int64(3*s), cfg.SubRNG(fmt.Sprintf("thm10/side=%d", s)))
 		horizon := spacetime.SuggestHorizon(g, reqs, 3)
-		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
-		if err != nil {
-			skip("E2 Thm10 2-d side=%d: %v", s, err)
+		res, rerr := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
+		if rerr != nil {
+			skip("E2 Thm10 2-d side=%d: %v", s, rerr)
 			return lineSlot{}
 		}
 		upper, _ := optbound.DualUpperBound(g, reqs, horizon)
@@ -111,9 +111,9 @@ func runDetSweep(ctx context.Context, cfg Config) (Report, error) {
 		g := grid.Line(n, 0, 3)
 		reqs := scenario.Uniform(g, 4*n, int64(2*n), cfg.SubRNG(fmt.Sprintf("thm11/n=%d", n)))
 		horizon := spacetime.SuggestHorizon(g, reqs, 3)
-		res, err := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
-		if err != nil {
-			skip("E3 Thm11 B=0 n=%d: %v", n, err)
+		res, rerr := core.RunDeterministic(g, reqs, core.DetConfig{Horizon: horizon})
+		if rerr != nil {
+			skip("E3 Thm11 B=0 n=%d: %v", n, rerr)
 			return b0Slot{}
 		}
 		return b0Slot{

@@ -260,7 +260,7 @@ func SweepResults[T any](ctx context.Context, cfg Config, skips *SkipList, n int
 	settle := func(i int, done <-chan subResult, l *lease) {
 		var timer <-chan time.Time
 		if cfg.subTimeout > 0 {
-			t := time.NewTimer(cfg.subTimeout)
+			t := time.NewTimer(cfg.subTimeout) //gridlint:allow subprocess watchdog timeout; kills hung runs, never shapes results
 			defer t.Stop()
 			timer = t.C
 		}

@@ -271,7 +271,7 @@ func (r Runner) StreamJobs(ctx context.Context, jobList []Job) <-chan Result {
 func (r Runner) runOne(ctx context.Context, j Job, pool *subpool) Result {
 	e := j.Experiment
 	res := Result{Experiment: e}
-	start := time.Now()
+	start := time.Now() //gridlint:allow experiment wall-time measurement; reported, never fed back into results
 	for attempt := 1; ; attempt++ {
 		res.Attempts = attempt
 		res.Report, res.Err = r.attempt(ctx, j, pool)
@@ -282,7 +282,7 @@ func (r Runner) runOne(ctx context.Context, j Job, pool *subpool) Result {
 			break
 		}
 	}
-	res.Duration = time.Since(start)
+	res.Duration = time.Since(start) //gridlint:allow experiment wall-time measurement; reported, never fed back into results
 	// The registry entry is the single source of truth for ID and Title;
 	// Run functions only produce tables and notes.
 	res.Report.ID, res.Report.Title = e.ID, e.Title

@@ -28,6 +28,8 @@
 //
 // String renders the canonical form of a schedule; Parse(String()) is the
 // identity on normalized schedules (fuzz-gated).
+//
+//gridroute:seqclock
 package fault
 
 import (

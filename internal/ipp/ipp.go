@@ -56,10 +56,12 @@ type Packer struct {
 	cap  CapFunc
 
 	// Sparse backend (nil in dense mode).
+	//gridroute:versioned
 	x    map[EdgeID]float64
 	flow map[EdgeID]int
 
 	// Dense backend (nil in sparse mode).
+	//gridroute:versioned
 	xs    []float64
 	flows []int32
 
@@ -149,6 +151,8 @@ func (p *Packer) Cost(path []EdgeID) float64 {
 }
 
 // growth returns the memoized weight-update constants for capacity ce.
+//
+//gridroute:hotpath
 func (p *Packer) growth(ce float64) (g, add float64) {
 	for i := range p.memo {
 		if p.memo[i].c == ce {
@@ -168,6 +172,8 @@ func (p *Packer) growth(ce float64) (g, add float64) {
 //
 // The caller must pass cost consistent with Cost(path); it is a parameter
 // only to let oracles avoid a second traversal.
+//
+//gridroute:hotpath
 func (p *Packer) Offer(path []EdgeID, cost float64) bool {
 	if path == nil || cost >= 1 {
 		p.rejected++
@@ -187,6 +193,7 @@ func (p *Packer) Offer(path []EdgeID, cost float64) bool {
 	return true
 }
 
+//gridroute:hotpath
 func (p *Packer) commitDense(path []EdgeID) {
 	p.version.Add(1)
 	p.last = p.last[:0]
@@ -210,6 +217,7 @@ func (p *Packer) commitDense(path []EdgeID) {
 	}
 }
 
+//gridroute:hotpath
 func (p *Packer) commitSparse(path []EdgeID) {
 	p.version.Add(1)
 	p.last = p.last[:0]

@@ -234,6 +234,7 @@ func (b *Box) NewDP() *DP {
 	}
 }
 
+//gridroute:hotpath
 func (dp *DP) winIndex(p []int) int {
 	id := 0
 	for i, x := range p {
@@ -242,6 +243,7 @@ func (dp *DP) winIndex(p []int) int {
 	return id
 }
 
+//gridroute:hotpath
 func (dp *DP) inWindow(p []int) bool {
 	for i, x := range p {
 		if x < dp.winLo[i] || x >= dp.winHi[i] {
@@ -257,6 +259,8 @@ func (dp *DP) inWindow(p []int) bool {
 // allocates nothing. The buffers are NOT reset here: the pull kernels (serial
 // and parallel) write every node themselves; only the push fallback and the
 // closure-based Run call resetState.
+//
+//gridroute:hotpath
 func (dp *DP) setupWindow(winLo, winHi, src []int) (srcW int, ok bool) {
 	d := dp.box.D()
 	dp.wsize = 1
@@ -299,6 +303,8 @@ func (dp *DP) setupWindow(winLo, winHi, src []int) (srcW int, ok bool) {
 
 // resetState fills the window with the pre-relaxation state: every node
 // unreachable with no predecessor.
+//
+//gridroute:hotpath
 func (dp *DP) resetState() {
 	for i := range dp.cost {
 		dp.cost[i] = Inf
@@ -309,6 +315,8 @@ func (dp *DP) resetState() {
 // Run computes lightest paths from src to every point of the window
 // [winLo, winHi) ∩ box. src must lie in the window. Edge and node weights are
 // consulted via box node ids. After Run, use CostAt and PathTo.
+//
+//gridroute:hotpath
 func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
 	srcW, ok := dp.setupWindow(winLo, winHi, src)
 	if !ok {
@@ -373,6 +381,8 @@ func (dp *DP) Run(winLo, winHi, src []int, edgeW EdgeWeight, nodeW NodeWeight) {
 // When a Pool has been attached via SetPool and the window clears the pool's
 // crossover threshold, the relaxation runs on the pool's wavefront workers;
 // results are bit-identical to the serial sweep (see parallel.go).
+//
+//gridroute:hotpath
 func (dp *DP) RunFlat(winLo, winHi, src []int, edgeX, nodeX []float64) {
 	dp.runFlatBounded(winLo, winHi, src, edgeX, nodeX, Inf)
 }
@@ -385,10 +395,13 @@ func (dp *DP) RunFlat(winLo, winHi, src []int, edgeX, nodeX []float64) {
 // some cost ≥ bound, or Inf. Callers that only consume results strictly below
 // bound — the Theorem 13 oracle's accept test at cost < 1 — therefore see
 // exact answers at a fraction of the relaxation work on saturated lattices.
+//
+//gridroute:hotpath
 func (dp *DP) RunFlatBounded(winLo, winHi, src []int, edgeX, nodeX []float64, bound float64) {
 	dp.runFlatBounded(winLo, winHi, src, edgeX, nodeX, bound)
 }
 
+//gridroute:hotpath
 func (dp *DP) runFlatBounded(winLo, winHi, src []int, edgeX, nodeX []float64, bound float64) {
 	srcW, ok := dp.setupWindow(winLo, winHi, src)
 	if !ok {
@@ -446,6 +459,8 @@ func (dp *DP) runFlatBounded(winLo, winHi, src []int, edgeX, nodeX []float64, bo
 // payoff is on saturated bounded runs (the Theorem 13 oracle at bound = 1),
 // where the reachable region collapses to a few rows near the source and the
 // fill is several times cheaper per node than the pull.
+//
+//gridroute:hotpath
 func (dp *DP) runPull2() {
 	if dp.par.nodeX == nil {
 		dp.runPull2NoNode()
@@ -523,6 +538,8 @@ func (dp *DP) runPull2() {
 // alive predecessor: the remainder is exactly (Inf, −1) and is bulk-filled.
 // On bounded runs the per-offer work shrinks from the window's area to
 // roughly the reachable-below-bound region's.
+//
+//gridroute:hotpath
 func (dp *DP) runPull2NoNode() {
 	ps := &dp.par
 	cost, pred := dp.cost, dp.pred
@@ -679,6 +696,8 @@ func (dp *DP) runPull2NoNode() {
 
 // fillDead writes the exact dead-region values (Inf, −1) to window indices
 // [from, to) after an alive-frontier or dead-row cutoff.
+//
+//gridroute:hotpath
 func (dp *DP) fillDead(from, to int) {
 	cost, pred := dp.cost[from:to], dp.pred[from:to]
 	for j := range cost {
@@ -693,6 +712,8 @@ func (dp *DP) fillDead(from, to int) {
 // RunFlat sweep, with the relaxation cutoff generalized from Inf to bound).
 // It survives only as the d > maxParAxes fallback; every d ≤ maxParAxes
 // window takes the pull path above.
+//
+//gridroute:hotpath
 func (dp *DP) runFlatGeneric(edgeX, nodeX []float64, bound float64) {
 	d := dp.box.D()
 	pt := dp.pt
@@ -732,6 +753,8 @@ func (dp *DP) runFlatGeneric(edgeX, nodeX []float64, bound float64) {
 
 // CostAt returns the lightest-path cost from the source to p, or Inf if p is
 // outside the window or unreachable.
+//
+//gridroute:hotpath
 func (dp *DP) CostAt(p []int) float64 {
 	if !dp.valid || !dp.inWindow(p) {
 		return Inf
@@ -745,6 +768,8 @@ func (dp *DP) CostAt(p []int) float64 {
 // a strict comparison). Out-of-window coordinates contribute Inf. This is
 // the sink-side scan of a packer's Offer — one windowed slice walk instead
 // of a winIndex odometer per probe.
+//
+//gridroute:hotpath
 func (dp *DP) MinCostRay(p []int, axis, lo, hi int) (best float64, bestAt int) {
 	best, bestAt = Inf, lo
 	if !dp.valid {
@@ -791,6 +816,8 @@ func (dp *DP) PathTo(p []int) *Path {
 // and Axes slices. It reports false (leaving out untouched) when p is
 // unreachable. A warm out (slices grown once) makes reconstruction
 // allocation-free — the streaming admit path depends on this.
+//
+//gridroute:hotpath
 func (dp *DP) PathInto(p []int, out *Path) bool {
 	if dp.CostAt(p) == Inf {
 		return false
@@ -828,6 +855,8 @@ func (dp *DP) SetPool(p *Pool) { dp.pool = p }
 
 // boxToWin maps a box node id to its window index, reporting false when the
 // node lies outside the current window.
+//
+//gridroute:hotpath
 func (dp *DP) boxToWin(bid int) (int, bool) {
 	w := 0
 	for a := 0; a < dp.box.D(); a++ {
@@ -845,6 +874,8 @@ func (dp *DP) boxToWin(bid int) (int, bool) {
 // evaluates (same float operation order, same strict-< tie-break with axes
 // considered in ascending order, same relaxation bound), so an unchanged
 // node reproduces its stored cost and predecessor bit for bit.
+//
+//gridroute:hotpath
 func (dp *DP) pullNode(w int, edgeX, nodeX []float64) (float64, int8) {
 	if w == dp.srcW {
 		if nodeX != nil {
@@ -883,6 +914,8 @@ func (dp *DP) pullNode(w int, edgeX, nodeX []float64) (float64, int8) {
 }
 
 // heapPush inserts w into the frontier min-heap.
+//
+//gridroute:hotpath
 func (dp *DP) heapPush(w int32) {
 	h := append(dp.heap, w)
 	i := len(h) - 1
@@ -898,6 +931,8 @@ func (dp *DP) heapPush(w int32) {
 }
 
 // heapPop removes and returns the smallest window index in the frontier.
+//
+//gridroute:hotpath
 func (dp *DP) heapPop() int32 {
 	h := dp.heap
 	top := h[0]
@@ -939,6 +974,8 @@ func (dp *DP) heapPop() int32 {
 // maxFrontier caps the dirty set (≤ 0 picks wsize/8 + 64); on overflow, or
 // when no flat run is cached, RerunFlat returns false and invalidates the
 // DP: the caller must fall back to a full RunFlat.
+//
+//gridroute:hotpath
 func (dp *DP) RerunFlat(seeds []int, edgeX, nodeX []float64, maxFrontier int) bool {
 	if !dp.valid || !dp.flatRun {
 		return false

@@ -121,6 +121,8 @@ type parState struct {
 // reports false (leaving the buffers untouched beyond setupWindow) when the
 // shape does not parallelize — fewer than 2 usable bands — in which case the
 // caller falls back to the serial kernels.
+//
+//gridroute:hotpath
 func (dp *DP) runFlatParallel(edgeX, nodeX []float64, bound float64) bool {
 	rows := dp.wdims[0]
 	nb := dp.pool.workers
@@ -174,6 +176,8 @@ func (dp *DP) runFlatParallel(edgeX, nodeX []float64, bound float64) bool {
 // above to clear each chunk first. The spin is short — the dependency is at
 // most one chunk of work away — and yields to the scheduler so the pipeline
 // drains even when goroutines outnumber CPUs (GOMAXPROCS=1 included).
+//
+//gridroute:hotpath
 func (dp *DP) runBand(band int) {
 	ps := &dp.par
 	for j := 0; j < ps.numChunks; j++ {
@@ -199,6 +203,8 @@ func (dp *DP) runBand(band int) {
 }
 
 // runChunk2 pulls rows [r0,r1) × columns [c0,c1) of a 2-axis window.
+//
+//gridroute:hotpath
 func (dp *DP) runChunk2(r0, r1, c0, c1 int) {
 	ps := &dp.par
 	cost, pred := dp.cost, dp.pred
@@ -247,6 +253,8 @@ func (dp *DP) runChunk2(r0, r1, c0, c1 int) {
 // runChunkGeneric is runChunk2 for any dimensionality ≤ maxParAxes: the
 // rest-space coordinates (axes 1..d−1) are decoded once per row-chunk into
 // stack scratch and advanced with an odometer.
+//
+//gridroute:hotpath
 func (dp *DP) runChunkGeneric(r0, r1, c0, c1 int) {
 	ps := &dp.par
 	cost, pred := dp.cost, dp.pred

@@ -157,6 +157,8 @@ func (rp *Replayer) Replay(g *grid.Grid, reqs []grid.Request, schedules []*space
 
 // ReplayInto is Replay writing into a caller-provided result, reusing its
 // slices; a warm (Replayer, Result) pair replays without allocating.
+//
+//gridroute:hotpath
 func (rp *Replayer) ReplayInto(g *grid.Grid, reqs []grid.Request, schedules []*spacetime.Schedule, model Model, res *Result) {
 	if cap(res.Outcomes) < len(reqs) {
 		res.Outcomes = make([]Outcome, len(reqs))
@@ -202,7 +204,7 @@ func (rp *Replayer) ReplayInto(g *grid.Grid, reqs []grid.Request, schedules []*s
 			continue
 		}
 		if s.Req == nil || !s.Req.Src.Eq(reqs[i].Src) || s.Req.Arrival != reqs[i].Arrival {
-			res.Violation = append(res.Violation, fmt.Sprintf("req %d: schedule/request mismatch", i))
+			res.Violation = append(res.Violation, fmt.Sprintf("req %d: schedule/request mismatch", i)) //gridlint:allow violation reporting: runs only on malformed input, not per packet
 			if model == Model2 {
 				// Mismatched schedules still occupy the network; charge
 				// their presence so capacity verification stays sound.
@@ -234,7 +236,7 @@ func (rp *Replayer) ReplayInto(g *grid.Grid, reqs []grid.Request, schedules []*s
 				}
 				pos[m]++
 				if pos[m] >= g.Dims[m] {
-					res.Violation = append(res.Violation, fmt.Sprintf("req %d: leaves grid", i))
+					res.Violation = append(res.Violation, fmt.Sprintf("req %d: leaves grid", i)) //gridlint:allow violation reporting: runs only on malformed schedules, not per packet
 					ok = false
 					break
 				}
@@ -259,18 +261,19 @@ func (rp *Replayer) ReplayInto(g *grid.Grid, reqs []grid.Request, schedules []*s
 			t := minT + int64(id%width)
 			id /= width
 			res.Violation = append(res.Violation,
-				fmt.Sprintf("link capacity exceeded: node %d axis %d t=%d: %d > %d", id/d, id%d, t, n, g.C))
+				fmt.Sprintf("link capacity exceeded: node %d axis %d t=%d: %d > %d", id/d, id%d, t, n, g.C)) //gridlint:allow violation reporting: runs only on capacity breaches, not per packet
 		}
 	}
 	for _, bi := range rp.bufs.Touched() {
 		if n := rp.bufs.Get(int(bi)); n > g.B {
 			id := int(bi)
 			res.Violation = append(res.Violation,
-				fmt.Sprintf("buffer exceeded: node %d t=%d: %d > %d", id/width, minT+int64(id%width), n, g.B))
+				fmt.Sprintf("buffer exceeded: node %d t=%d: %d > %d", id/width, minT+int64(id%width), n, g.B)) //gridlint:allow violation reporting: runs only on buffer breaches, not per packet
 		}
 	}
 }
 
+//gridroute:hotpath
 func (rp *Replayer) bumpBuf(node int, t, minT int64, width int, res *Result) {
 	if n := rp.bufs.Add(node*width+int(t-minT), 1); n > res.MaxBuffer {
 		res.MaxBuffer = n
@@ -279,6 +282,8 @@ func (rp *Replayer) bumpBuf(node int, t, minT int64, width int, res *Result) {
 
 // presenceWalk charges Model-2 presence for a schedule that failed the
 // request cross-check (cold path).
+//
+//gridroute:hotpath
 func (rp *Replayer) presenceWalk(g *grid.Grid, req *grid.Request, s *spacetime.Schedule, minT int64, width int, res *Result) {
 	pos := s.Src.Clone()
 	t := s.StartT

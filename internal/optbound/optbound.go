@@ -80,6 +80,8 @@ func (sp *STPacker) Packer() *ipp.Packer { return sp.pk }
 // its weight, or nil when no legal path exists. The returned path aliases a
 // buffer owned by the packer and is valid until the next LightestPath or
 // Offer call; copy it to retain it.
+//
+//gridroute:hotpath
 func (sp *STPacker) LightestPath(r *grid.Request) (*lattice.Path, float64) {
 	return sp.lightestPath(r, lattice.Inf)
 }
@@ -90,6 +92,8 @@ func (sp *STPacker) LightestPath(r *grid.Request) (*lattice.Path, float64) {
 // accept test of Algorithm 3 is cost < 1, so Offer passes bound 1: on a
 // saturated lattice most of the window exceeds the bound and is never
 // relaxed, while every decision — and the committed path — stays identical.
+//
+//gridroute:hotpath
 func (sp *STPacker) lightestPath(r *grid.Request, bound float64) (*lattice.Path, float64) {
 	d := sp.ST.G.D()
 	src := sp.ST.ToLattice(r.Src, r.Arrival, sp.srcBuf)
@@ -157,6 +161,8 @@ func (sp *STPacker) lightestPath(r *grid.Request, bound float64) (*lattice.Path,
 // observable evolution (rejected count, untouched weights) is the same for
 // "no path found" and "path too heavy" — so pruning the DP at the accept
 // threshold changes nothing but the work done.
+//
+//gridroute:hotpath
 func (sp *STPacker) Offer(r *grid.Request) (*lattice.Path, bool) {
 	p, cost := sp.lightestPath(r, 1)
 	if p == nil {

@@ -96,9 +96,9 @@ func Merge(arts []Artifact, names []string) (*MergedSweep, error) {
 		if !reflect.DeepEqual(a.Units, plan.Assign[i]) {
 			return nil, fmt.Errorf("shard: %s unit assignment does not match plan shard %d", nameOf[i], i)
 		}
-		jobs, err := plan.Jobs(i)
-		if err != nil {
-			return nil, err
+		jobs, jerr := plan.Jobs(i)
+		if jerr != nil {
+			return nil, jerr
 		}
 		if len(a.Results) != len(jobs) {
 			return nil, fmt.Errorf("shard: %s carries %d results for %d jobs — truncated artifact", nameOf[i], len(a.Results), len(jobs))

@@ -177,6 +177,8 @@ func equalInts(a, b []int) bool {
 // when the cached state is current — either untouched (version delta 0: skip
 // the DP entirely) or repaired in place via RerunFlat (delta 1). False means
 // the caller must run the full sweep.
+//
+//gridroute:hotpath
 func (s *Session) warmRun(pk *ipp.Packer, xs, nodeX []float64) bool {
 	if !s.warm || !s.lastValid || pk != s.lastPk ||
 		!equalInts(s.lastWinLo, s.winLo) || !equalInts(s.lastWinHi, s.winHi) ||
@@ -317,6 +319,8 @@ func (s *Session) LightestRoute(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wL
 // regardless of packer state. After a true return the caller solves the
 // prepared window with LightestRouteInto (canonical weights) or
 // SnapshotWindow/SolveSnapshot (speculative weights).
+//
+//gridroute:hotpath
 func (s *Session) PrepareQuery(srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int) bool {
 	g := s.g
 	d := g.ST.G.D()
@@ -371,6 +375,8 @@ func (s *Session) PrepareQuery(srcPoint []int, dst grid.Vec, wLo, wHi int, maxTi
 // extractRoute minimizes the solved DP over the prepared destination ray and
 // materializes the winning path into out. False means every ray tile is
 // unreachable under the solved weights.
+//
+//gridroute:hotpath
 func (s *Session) extractRoute(out *Route) bool {
 	wa := s.g.ST.G.D()
 	best := math.Inf(1)
@@ -400,6 +406,8 @@ func (s *Session) extractRoute(out *Route) bool {
 // legal route exists. A warm (Session, Route) pair queries without
 // allocating — the property the streaming engine's 0-alloc admit gate rests
 // on.
+//
+//gridroute:hotpath
 func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec, wLo, wHi int, maxTiles int, out *Route) bool {
 	if !s.PrepareQuery(srcPoint, dst, wLo, wHi, maxTiles) {
 		return false
@@ -426,9 +434,9 @@ func (s *Session) LightestRouteInto(pk *ipp.Packer, srcPoint []int, dst grid.Vec
 	} else {
 		var nodeW lattice.NodeWeight
 		if g.Mode == Downscaled {
-			nodeW = func(id int) float64 { return pk.Weight(g.InteriorEdgeID(id)) }
+			nodeW = func(id int) float64 { return pk.Weight(g.InteriorEdgeID(id)) } //gridlint:allow closure-mode fallback: cold path, flat kernels serve steady state
 		}
-		edgeW := func(id, a int) float64 { return pk.Weight(g.AxisEdgeID(id, a)) }
+		edgeW := func(id, a int) float64 { return pk.Weight(g.AxisEdgeID(id, a)) } //gridlint:allow closure-mode fallback: cold path, flat kernels serve steady state
 		s.dp.Run(s.winLo, s.winHi, s.srcTile, edgeW, nodeW)
 		s.lastValid = false // closure runs leave no flat state to warm-start
 	}
@@ -448,6 +456,9 @@ func (s *Session) Window() (lo, hi []int) { return s.winLo, s.winHi }
 // O(universe). The axis-edge weights of a contiguous last-axis run of tiles
 // are themselves contiguous (AxisEdgeID stride), as are the interior-edge
 // weights in Downscaled mode, so each row is two copy calls.
+//
+//gridroute:rlock
+//gridroute:hotpath
 func (s *Session) SnapshotWindow(from, into []float64) {
 	g := s.g
 	tb := g.Tl.TBox
@@ -481,6 +492,8 @@ func (s *Session) SnapshotWindow(from, into []float64) {
 // last PrepareQuery match the session's last snapshot solve. Together with
 // an unchanged packer version this lets a speculation worker skip both the
 // weight copy and the DP and go straight to route extraction.
+//
+//gridroute:hotpath
 func (s *Session) PreparedUnchanged() bool {
 	return s.specValid && equalInts(s.specWinLo, s.winLo) &&
 		equalInts(s.specWinHi, s.winHi) && equalInts(s.specSrc, s.srcTile)
@@ -493,6 +506,8 @@ func (s *Session) PreparedUnchanged() bool {
 // unchanged snapshot) and only extraction runs. The session's packer-keyed
 // warm cache is invalidated: the DP state now reflects snapshot, not live,
 // weights.
+//
+//gridroute:hotpath
 func (s *Session) SolveSnapshot(xs []float64, skipDP bool, out *Route) bool {
 	if !skipDP || !s.PreparedUnchanged() {
 		var nodeX []float64
@@ -536,6 +551,8 @@ func (s *Session) LightestRouteMasked(pk *ipp.Packer, srcPoint []int, dst grid.V
 }
 
 // routeInto materializes a DP path as a sketch Route, reusing out's slices.
+//
+//gridroute:hotpath
 func (s *Session) routeInto(p *lattice.Path, cost float64, out *Route) {
 	g := s.g
 	tiles := out.Tiles[:0]
